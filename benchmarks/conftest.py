@@ -1,0 +1,37 @@
+"""Benchmark fixtures: the shared experiment matrix.
+
+Every ``benchmarks/test_figNN_*.py`` target reproduces one figure/table of
+the paper from the same cached (workload x configuration) matrix.  The
+first run populates ``results/experiments.json`` (a few minutes of
+simulation); later runs re-use it.  Budgets are controlled by
+``REPRO_BENCH_INSTS`` / ``REPRO_BENCH_WARMUP``.
+
+Rendered figure reproductions are written to ``results/figures/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ExperimentMatrix, render, write_report
+
+
+@pytest.fixture(scope="session")
+def matrix():
+    m = ExperimentMatrix()
+    yield m
+    m.save()
+
+
+@pytest.fixture
+def publish(matrix):
+    """Render a figure table, persist it, and echo it to the log."""
+
+    def _publish(table, filename):
+        path = write_report(table, filename)
+        print()
+        print(render(table))
+        matrix.save()
+        return path
+
+    return _publish

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Author your own kernel with the mini-ISA ProgramBuilder and study how
+the runahead buffer treats it.
+
+The kernel below is a sparse matrix-vector-ish inner loop: stream the
+column-index array, gather from the vector, accumulate.  The example
+prints the behaviour of every runahead policy plus the chain-cache
+statistics for the custom code.
+
+Usage::
+
+    python examples/custom_workload.py
+"""
+
+from repro import (
+    DataMemory,
+    ProgramBuilder,
+    RunaheadMode,
+    Workload,
+    make_config,
+)
+from repro.core import Processor
+
+COL_BASE = 1 << 26       # column-index array (streams)
+VEC_BASE = 2 << 26       # gathered vector (random lines)
+VEC_MASK = (16 << 20 >> 6) - 1   # 16 MB of vector, line-granular
+
+
+def build_spmv() -> Workload:
+    b = ProgramBuilder()
+    b.label("init")
+    b.li("R1", COL_BASE)                 # column cursor
+    b.li("R2", COL_BASE + (8 << 20))     # end of the index array
+    b.li("R3", VEC_BASE)
+    b.li("R4", 6)                        # line shift
+    b.label("row")
+    b.load("R10", "R1", 0)               # col = cols[i]  (junk index)
+    b.andi("R11", "R10", VEC_MASK)       # wrap into the vector
+    b.shl("R11", "R11", "R4")
+    b.add("R11", "R11", "R3")
+    b.load("R12", "R11", 0)              # x[col]  <-- the delinquent load
+    b.fmul("R13", "R12", "R12")          # a[i] * x[col] (values are junk)
+    b.fadd("R14", "R14", "R13")          # accumulate
+    b.addi("R1", "R1", 8)
+    b.blt("R1", "R2", "row")
+    b.jmp("init")
+    return Workload("spmv", b.build(entry="init", name="spmv"),
+                    memory=DataMemory(),
+                    description="sparse matrix-vector inner loop")
+
+
+def main() -> None:
+    print("custom kernel: sparse matrix-vector inner loop\n")
+    results = {}
+    for name, mode in (
+        ("baseline", RunaheadMode.NONE),
+        ("runahead", RunaheadMode.TRADITIONAL),
+        ("runahead buffer", RunaheadMode.BUFFER),
+        ("buffer + chain cache", RunaheadMode.BUFFER_CHAIN_CACHE),
+        ("hybrid", RunaheadMode.HYBRID),
+    ):
+        workload = build_spmv()
+        processor = Processor(workload.program, make_config(mode),
+                              memory=workload.memory)
+        processor.warm_up(3_000)
+        stats = processor.run(6_000)
+        results[name] = stats
+        print(f"{name:22s} ipc={stats.ipc:5.3f}  "
+              f"intervals={stats.runahead_intervals:3d}  "
+              f"misses/ivl={stats.misses_per_interval:5.1f}  "
+              f"cc-hit={100 * stats.chain_cache_hit_rate:5.1f}%")
+
+    base = results["baseline"].ipc
+    best_name = max(results, key=lambda n: results[n].ipc)
+    print(f"\nbest policy: {best_name} "
+          f"({100 * (results[best_name].ipc / base - 1):+.1f}% vs baseline)")
+    cc = results["buffer + chain cache"]
+    print(f"chain cache: {cc.chain_cache_hits} hits / "
+          f"{cc.chain_cache_misses} misses "
+          f"(only {cc.chain_generations} pseudo-wakeup walks needed)")
+
+
+if __name__ == "__main__":
+    main()

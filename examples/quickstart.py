@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: the runahead buffer on a pointer-chasing workload.
+
+Runs the mcf-like kernel on the baseline out-of-order core, then with
+traditional runahead, the runahead buffer (+ chain cache), and the
+hybrid policy, and prints the headline comparison — performance, MLP,
+DRAM traffic and energy.
+
+Usage::
+
+    python examples/quickstart.py [workload] [instructions]
+"""
+
+import sys
+
+from repro import RunaheadMode, make_config, simulate
+
+CONFIGS = [
+    ("baseline", make_config()),
+    ("runahead", make_config(RunaheadMode.TRADITIONAL)),
+    ("runahead buffer", make_config(RunaheadMode.BUFFER_CHAIN_CACHE)),
+    ("hybrid", make_config(RunaheadMode.HYBRID)),
+]
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "mcf"
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 8_000
+
+    print(f"workload: {workload}  ({instructions} instructions)\n")
+    header = (f"{'config':17s} {'IPC':>6s} {'speedup':>8s} {'MPKI':>6s} "
+              f"{'misses/ivl':>10s} {'DRAM':>6s} {'energy':>9s}")
+    print(header)
+    print("-" * len(header))
+
+    base_ipc = None
+    base_energy = None
+    for name, config in CONFIGS:
+        result = simulate(workload, config, max_instructions=instructions)
+        stats = result.stats
+        if base_ipc is None:
+            base_ipc, base_energy = stats.ipc, result.energy.total
+        speedup = 100.0 * (stats.ipc / base_ipc - 1.0)
+        energy = 100.0 * (result.energy.total / base_energy - 1.0)
+        print(f"{name:17s} {stats.ipc:6.3f} {speedup:+7.1f}% "
+              f"{stats.mpki:6.1f} {stats.misses_per_interval:10.1f} "
+              f"{stats.dram_requests:6d} {energy:+8.1f}%")
+
+    print("\nThe runahead buffer extracts the miss's dependence chain from")
+    print("the ROB and loops it with the front-end clock-gated: more MLP")
+    print("per interval than traditional runahead, at lower energy.")
+
+
+if __name__ == "__main__":
+    main()

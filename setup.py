@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` needs PEP 660 support that the
+pinned offline toolchain lacks; this shim lets pip fall back to the
+legacy ``setup.py develop`` editable path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""Experiment harness: run matrix, per-figure extractors, reporting."""
+
+from . import figures
+from .experiments import (
+    DEFAULT_INSTRUCTIONS,
+    DEFAULT_WARMUP,
+    MODEL_VERSION,
+    ExperimentMatrix,
+    all_workloads,
+    evaluation_workloads,
+)
+from .metrics import gmean, gmean_percent_delta, percent_delta
+from .report import Table, render, write_report
+from .sweeps import (
+    CANNED_SWEEPS,
+    SweepPoint,
+    run_named_sweep,
+    run_sweep,
+    sweep_table,
+)
+
+__all__ = [
+    "CANNED_SWEEPS",
+    "DEFAULT_INSTRUCTIONS",
+    "DEFAULT_WARMUP",
+    "ExperimentMatrix",
+    "MODEL_VERSION",
+    "Table",
+    "all_workloads",
+    "evaluation_workloads",
+    "figures",
+    "gmean",
+    "gmean_percent_delta",
+    "percent_delta",
+    "render",
+    "run_named_sweep",
+    "run_sweep",
+    "sweep_table",
+    "SweepPoint",
+    "write_report",
+]

@@ -1,0 +1,131 @@
+"""Experiment matrix: the shared (workload x configuration) result store.
+
+Every figure and table of the paper is derived from simulations of the
+same named configurations (``repro.config.CONFIG_BUILDERS``) over the
+SPEC06-like suite.  :class:`ExperimentMatrix` runs each cell once, keeps
+results in memory, and persists them as JSON so repeated benchmark runs
+(or partial reruns) do not repeat simulations.
+
+The cache key includes a model-version salt — bump ``MODEL_VERSION``
+whenever simulator behaviour changes so stale results are discarded.
+
+Instruction budgets default to quick-but-meaningful runs for a
+Python-hosted cycle-level simulator; override with the environment
+variables ``REPRO_BENCH_INSTS`` / ``REPRO_BENCH_WARMUP`` for longer,
+higher-fidelity sweeps.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Optional
+
+from ..config import CONFIG_BUILDERS, build_named_config
+from ..core import simulate
+from ..workloads import medium_high_names, workload_names
+
+MODEL_VERSION = 3
+
+DEFAULT_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTS", "5000"))
+DEFAULT_WARMUP = int(os.environ.get("REPRO_BENCH_WARMUP", "12000"))
+
+
+class ExperimentMatrix:
+    """Lazily-populated result matrix with a JSON disk cache."""
+
+    def __init__(
+        self,
+        instructions: int = DEFAULT_INSTRUCTIONS,
+        warmup: int = DEFAULT_WARMUP,
+        cache_path: Optional[str | Path] = "results/experiments.json",
+    ) -> None:
+        self.instructions = instructions
+        self.warmup = warmup
+        self.cache_path = Path(cache_path) if cache_path else None
+        self._results: dict[str, dict[str, Any]] = {}
+        self._dirty = False
+        if self.cache_path is not None and self.cache_path.exists():
+            try:
+                payload = json.loads(self.cache_path.read_text())
+            except (OSError, json.JSONDecodeError):
+                payload = {}
+            if payload.get("model_version") == MODEL_VERSION:
+                self._results = payload.get("results", {})
+
+    # -- keys ------------------------------------------------------------------
+
+    def _key(self, workload: str, config_name: str, chain_stats: bool) -> str:
+        suffix = "+chains" if chain_stats else ""
+        return f"{workload}/{config_name}{suffix}/{self.instructions}"
+
+    # -- access ------------------------------------------------------------------
+
+    def get(self, workload: str, config_name: str,
+            chain_stats: bool = False) -> dict[str, Any]:
+        """Stats dict for one cell, simulating on first use."""
+        if config_name not in CONFIG_BUILDERS:
+            raise ValueError(f"unknown config {config_name!r}")
+        key = self._key(workload, config_name, chain_stats)
+        cached = self._results.get(key)
+        if cached is not None:
+            return cached
+        config = build_named_config(config_name)
+        if chain_stats:
+            config.runahead.collect_chain_stats = True
+        result = simulate(
+            workload,
+            config,
+            max_instructions=self.instructions,
+            warmup_instructions=self.warmup,
+            config_name=config_name,
+        )
+        stats = result.stats.to_dict()
+        self._results[key] = stats
+        self._dirty = True
+        return stats
+
+    def ipc(self, workload: str, config_name: str) -> float:
+        return self.get(workload, config_name)["ipc"]
+
+    def speedup_pct(self, workload: str, config_name: str,
+                    baseline: str = "baseline") -> float:
+        base = self.ipc(workload, baseline)
+        return 100.0 * (self.ipc(workload, config_name) / base - 1.0) if base else 0.0
+
+    # -- bulk helpers ---------------------------------------------------------------
+
+    def run_suite(self, config_names: list[str],
+                  workloads: Optional[list[str]] = None,
+                  chain_stats: bool = False) -> None:
+        """Populate a block of cells (and flush the cache once)."""
+        if workloads is None:
+            workloads = medium_high_names()
+        for workload in workloads:
+            for config_name in config_names:
+                self.get(workload, config_name, chain_stats=chain_stats)
+        self.save()
+
+    # -- persistence -------------------------------------------------------------------
+
+    def save(self) -> None:
+        if self.cache_path is None or not self._dirty:
+            return
+        self.cache_path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "model_version": MODEL_VERSION,
+            "instructions": self.instructions,
+            "results": self._results,
+        }
+        self.cache_path.write_text(json.dumps(payload))
+        self._dirty = False
+
+
+def all_workloads() -> list[str]:
+    return workload_names()
+
+
+def evaluation_workloads() -> list[str]:
+    """The medium+high intensity set the paper's evaluation focuses on."""
+    return medium_high_names()

@@ -1,0 +1,443 @@
+"""Per-figure extractors: turn the experiment matrix into the paper's
+tables and figures.
+
+Each ``figNN_*`` function reproduces the corresponding figure of the
+paper as a :class:`~repro.analysis.report.Table` whose rows are
+benchmarks (suite order) and whose last row, where the paper reports one,
+is the geometric mean.  Benchmarks under ``benchmarks/`` render these and
+assert the paper's qualitative claims.
+"""
+
+from __future__ import annotations
+
+from ..config import default_system
+from ..workloads import intensity_of, medium_high_names, workload_names
+from .experiments import ExperimentMatrix
+from .metrics import gmean
+from .report import Table
+
+
+def _speedup_rows(matrix: ExperimentMatrix, configs: list[str],
+                  workloads: list[str], baseline: str = "baseline"
+                  ) -> tuple[list[list[float]], list[float]]:
+    """Per-workload percent speedups and the per-config gmean row."""
+    table_rows: list[list[float]] = []
+    ratios: dict[str, list[float]] = {c: [] for c in configs}
+    for workload in workloads:
+        base = matrix.ipc(workload, baseline)
+        row = []
+        for config in configs:
+            ipc = matrix.ipc(workload, config)
+            row.append(100.0 * (ipc / base - 1.0))
+            ratios[config].append(ipc / base)
+        table_rows.append(row)
+    gmeans = [100.0 * (gmean(ratios[c]) - 1.0) for c in configs]
+    return table_rows, gmeans
+
+
+# ---------------------------------------------------------------------------
+# Motivation figures (Figs 1-5)
+# ---------------------------------------------------------------------------
+
+def fig01_memory_stalls(matrix: ExperimentMatrix) -> Table:
+    """Fig. 1: % cycles stalled on memory + IPC, whole suite, baseline."""
+    table = Table(
+        "Figure 1: % cycles stalled waiting for memory (no-PF baseline)",
+        ["benchmark", "intensity", "stall_pct", "ipc", "mpki"],
+    )
+    for name in workload_names():
+        stats = matrix.get(name, "baseline")
+        table.add(name, intensity_of(name),
+                  100.0 * stats["memstall_fraction"], stats["ipc"],
+                  stats["mpki"])
+    return table
+
+
+def fig02_source_on_chip(matrix: ExperimentMatrix) -> Table:
+    """Fig. 2: % of cache misses whose source data is available on chip."""
+    table = Table(
+        "Figure 2: % of cache misses with source data available on chip",
+        ["benchmark", "onchip_pct", "misses_analyzed"],
+    )
+    for name in workload_names():
+        stats = matrix.get(name, "baseline", chain_stats=True)
+        chains = stats["chains"]
+        analyzed = (chains["misses_source_onchip"]
+                    + chains["misses_source_offchip"])
+        table.add(name, 100.0 * chains["source_onchip_fraction"], analyzed)
+    return table
+
+
+def fig03_chain_fraction(matrix: ExperimentMatrix) -> Table:
+    """Fig. 3: % of runahead-executed ops on miss dependence chains."""
+    table = Table(
+        "Figure 3: % of ops executed in runahead that are on a miss's "
+        "dependence chain",
+        ["benchmark", "chain_ops_pct", "runahead_ops"],
+    )
+    for name in medium_high_names():
+        stats = matrix.get(name, "runahead", chain_stats=True)
+        chains = stats["chains"]
+        table.add(name, 100.0 * chains["chain_op_fraction"],
+                  chains["runahead_ops_executed"])
+    return table
+
+
+def fig04_chain_repetition(matrix: ExperimentMatrix) -> Table:
+    """Fig. 4: repeated vs unique miss chains within runahead intervals."""
+    table = Table(
+        "Figure 4: % of dependence chains repeated within a runahead "
+        "interval",
+        ["benchmark", "repeated_pct", "unique", "repeated"],
+    )
+    for name in medium_high_names():
+        stats = matrix.get(name, "runahead", chain_stats=True)
+        chains = stats["chains"]
+        table.add(name, 100.0 * chains["repeated_fraction"],
+                  chains["unique_chains"], chains["repeated_chains"])
+    return table
+
+
+def fig05_chain_length(matrix: ExperimentMatrix) -> Table:
+    """Fig. 5: mean dependence-chain length in uops."""
+    table = Table(
+        "Figure 5: average dependence chain length (uops)",
+        ["benchmark", "mean_length", "chains"],
+    )
+    lengths = []
+    for name in medium_high_names():
+        stats = matrix.get(name, "runahead", chain_stats=True)
+        chains = stats["chains"]
+        table.add(name, chains["mean_chain_length"], chains["chain_count"])
+        if chains["chain_count"]:
+            lengths.append(chains["mean_chain_length"])
+    if lengths:
+        table.add("Average", sum(lengths) / len(lengths), sum(
+            matrix.get(n, "runahead", chain_stats=True)["chains"]["chain_count"]
+            for n in medium_high_names()))
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Tables 1-2
+# ---------------------------------------------------------------------------
+
+def table1_configuration() -> Table:
+    """Table 1: the simulated system configuration."""
+    cfg = default_system()
+    table = Table("Table 1: system configuration",
+                  ["parameter", "value", "paper"])
+    rows = [
+        ("issue width", cfg.core.width, 4),
+        ("ROB entries", cfg.core.rob_size, 192),
+        ("reservation stations", cfg.core.rs_size, 92),
+        ("clock (GHz)", cfg.core.clock_ghz, 3.2),
+        ("runahead buffer (uops)", cfg.runahead.buffer_uops, 32),
+        ("runahead cache (bytes)", cfg.runahead.runahead_cache_bytes, 512),
+        ("chain cache entries", cfg.runahead.chain_cache_entries, 2),
+        ("L1I (KB)", cfg.l1i.size_bytes // 1024, 32),
+        ("L1D (KB)", cfg.l1d.size_bytes // 1024, 32),
+        ("L1 latency", cfg.l1d.latency, 3),
+        ("LLC (KB)", cfg.llc.size_bytes // 1024, 1024),
+        ("LLC latency", cfg.llc.latency, 18),
+        ("LLC assoc", cfg.llc.assoc, 8),
+        ("memory queue entries", cfg.dram.queue_entries, 64),
+        ("prefetcher streams", cfg.prefetcher.num_streams, 32),
+        ("prefetcher distance", cfg.prefetcher.distance, 32),
+        ("prefetcher degree", cfg.prefetcher.degree, 2),
+        ("DRAM channels", cfg.dram.channels, 2),
+        ("DRAM banks/channel", cfg.dram.banks_per_channel, 8),
+        ("DRAM row (KB)", cfg.dram.row_bytes // 1024, 8),
+        ("CAS (cycles @3.2GHz)", cfg.dram.t_cas, 44),
+    ]
+    for name, value, paper in rows:
+        table.add(name, value, paper)
+    return table
+
+
+def table2_mpki_classes(matrix: ExperimentMatrix) -> Table:
+    """Table 2: workload classification by memory intensity."""
+    table = Table(
+        "Table 2: SPEC06-like workload classification by memory intensity",
+        ["benchmark", "mpki", "measured_class", "registered_class"],
+    )
+    for name in workload_names():
+        mpki = matrix.get(name, "baseline")["mpki"]
+        if mpki >= 10:
+            measured = "high"
+        elif mpki > 2:
+            measured = "medium"
+        else:
+            measured = "low"
+        table.add(name, mpki, measured, intensity_of(name))
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Evaluation figures (Figs 9-18)
+# ---------------------------------------------------------------------------
+
+PERF_CONFIGS_NOPF = ["runahead", "rab", "rab_cc", "hybrid"]
+PERF_CONFIGS_PF = ["pf", "runahead_pf", "rab_pf", "rab_cc_pf", "hybrid_pf"]
+ENERGY_CONFIGS_NOPF = ["runahead", "runahead_enh", "rab", "rab_cc", "hybrid"]
+ENERGY_CONFIGS_PF = ["pf", "runahead_pf", "runahead_enh_pf", "rab_pf",
+                     "rab_cc_pf", "hybrid_pf"]
+
+
+def fig09_performance_nopf(matrix: ExperimentMatrix) -> Table:
+    """Fig. 9: % IPC over the no-prefetching baseline (no prefetcher)."""
+    workloads = medium_high_names()
+    table = Table(
+        "Figure 9: % IPC difference over no-PF baseline",
+        ["benchmark"] + PERF_CONFIGS_NOPF,
+    )
+    rows, gmeans = _speedup_rows(matrix, PERF_CONFIGS_NOPF, workloads)
+    for workload, row in zip(workloads, rows):
+        table.add(workload, *row)
+    table.add("GMean", *gmeans)
+    table.notes.append(
+        "paper GMean: runahead +14.3, rab +14.4, rab_cc +17.2, hybrid +21.0"
+    )
+    return table
+
+
+def fig10_mlp(matrix: ExperimentMatrix) -> Table:
+    """Fig. 10: cache misses generated per runahead interval."""
+    table = Table(
+        "Figure 10: memory accesses generated per runahead interval",
+        ["benchmark", "runahead", "rab", "runahead_pf", "rab_pf"],
+    )
+    sums = [0.0, 0.0, 0.0, 0.0]
+    workloads = medium_high_names()
+    for name in workloads:
+        cells = [
+            matrix.get(name, cfg)["misses_per_interval"]
+            for cfg in ("runahead", "rab", "runahead_pf", "rab_pf")
+        ]
+        table.add(name, *cells)
+        for i, c in enumerate(cells):
+            sums[i] += c
+    table.add("Average", *[s / len(workloads) for s in sums])
+    table.notes.append("paper: rab generates ~2x the misses of runahead")
+    return table
+
+
+def fig11_rab_cycles(matrix: ExperimentMatrix) -> Table:
+    """Fig. 11: % of total cycles spent in runahead-buffer mode."""
+    table = Table(
+        "Figure 11: % of total cycles in runahead buffer mode (rab system)",
+        ["benchmark", "rab_cycles_pct"],
+    )
+    values = []
+    for name in medium_high_names():
+        frac = 100.0 * matrix.get(name, "rab")["rab_cycle_fraction"]
+        table.add(name, frac)
+        values.append(frac)
+    table.add("Average", sum(values) / len(values))
+    table.notes.append("paper average: 47% of cycles")
+    return table
+
+
+def fig12_chain_cache_hits(matrix: ExperimentMatrix) -> Table:
+    """Fig. 12: chain cache hit rate (rab + chain cache system)."""
+    table = Table(
+        "Figure 12: chain cache hit rate",
+        ["benchmark", "hit_rate_pct", "hits", "misses"],
+    )
+    values = []
+    for name in medium_high_names():
+        stats = matrix.get(name, "rab_cc")
+        rate = 100.0 * stats["chain_cache_hit_rate"]
+        table.add(name, rate, stats["chain_cache_hits"],
+                  stats["chain_cache_misses"])
+        values.append(rate)
+    table.add("Average", sum(values) / len(values), "", "")
+    return table
+
+
+def fig13_chain_cache_accuracy(matrix: ExperimentMatrix) -> Table:
+    """Fig. 13: % of chain-cache hits exactly matching the ROB chain."""
+    table = Table(
+        "Figure 13: % of chain cache hits that exactly match the chain "
+        "the ROB would generate",
+        ["benchmark", "exact_pct", "checked_hits"],
+    )
+    values = []
+    for name in medium_high_names():
+        stats = matrix.get(name, "rab_cc", chain_stats=True)
+        pct = 100.0 * stats["chain_cache_exact_fraction"]
+        table.add(name, pct, stats["chain_cache_checked_hits"])
+        values.append(pct)
+    table.add("Average", sum(values) / len(values), "")
+    table.notes.append("paper average: ~53% exact matches")
+    return table
+
+
+def fig14_hybrid_split(matrix: ExperimentMatrix) -> Table:
+    """Fig. 14: % of runahead cycles spent in buffer mode under Hybrid."""
+    table = Table(
+        "Figure 14: % of runahead cycles using the runahead buffer "
+        "(hybrid policy)",
+        ["benchmark", "rab_share_pct"],
+    )
+    values = []
+    for name in medium_high_names():
+        share = 100.0 * matrix.get(name, "hybrid")["hybrid_rab_share"]
+        table.add(name, share)
+        values.append(share)
+    table.add("Average", sum(values) / len(values))
+    table.notes.append("paper average: 71% of runahead cycles in the buffer")
+    return table
+
+
+def fig15_performance_pf(matrix: ExperimentMatrix) -> Table:
+    """Fig. 15: % IPC over the no-PF baseline, with a stream prefetcher."""
+    workloads = medium_high_names()
+    table = Table(
+        "Figure 15: % IPC difference over no-PF baseline (with prefetching)",
+        ["benchmark"] + PERF_CONFIGS_PF,
+    )
+    rows, gmeans = _speedup_rows(matrix, PERF_CONFIGS_PF, workloads)
+    for workload, row in zip(workloads, rows):
+        table.add(workload, *row)
+    table.add("GMean", *gmeans)
+    table.notes.append(
+        "paper GMean: pf +37.5, runahead_pf +48.3, rab_pf +47.1, "
+        "rab_cc_pf +48.2, hybrid_pf +51.5"
+    )
+    return table
+
+
+def fig16_memory_traffic(matrix: ExperimentMatrix) -> Table:
+    """Fig. 16: % extra DRAM requests vs the no-PF baseline."""
+    configs = ["runahead", "rab", "rab_cc", "hybrid", "pf"]
+    workloads = medium_high_names()
+    table = Table(
+        "Figure 16: % additional DRAM requests vs no-PF baseline",
+        ["benchmark"] + configs,
+    )
+    ratios: dict[str, list[float]] = {c: [] for c in configs}
+    for name in workloads:
+        base = matrix.get(name, "baseline")["dram_requests"]
+        row = []
+        for config in configs:
+            requests = matrix.get(name, config)["dram_requests"]
+            pct = 100.0 * (requests / base - 1.0) if base else 0.0
+            row.append(pct)
+            ratios[config].append(requests / base if base else 1.0)
+        table.add(name, *row)
+    table.add("GMean", *[100.0 * (gmean(ratios[c]) - 1.0) for c in configs])
+    table.notes.append(
+        "paper GMean: runahead +4, rab +12, hybrid +9, pf +38"
+    )
+    return table
+
+
+def _energy_table(matrix: ExperimentMatrix, configs: list[str],
+                  title: str, note: str) -> Table:
+    workloads = medium_high_names()
+    table = Table(title, ["benchmark"] + configs)
+    ratios: dict[str, list[float]] = {c: [] for c in configs}
+    for name in workloads:
+        base = matrix.get(name, "baseline")["total_energy_j"]
+        row = []
+        for config in configs:
+            energy = matrix.get(name, config)["total_energy_j"]
+            row.append(100.0 * (energy / base - 1.0) if base else 0.0)
+            ratios[config].append(energy / base if base else 1.0)
+        table.add(name, *row)
+    table.add("GMean", *[100.0 * (gmean(ratios[c]) - 1.0) for c in configs])
+    table.notes.append(note)
+    return table
+
+
+def fig17_energy_nopf(matrix: ExperimentMatrix) -> Table:
+    """Fig. 17: normalized energy, no prefetching."""
+    return _energy_table(
+        matrix, ENERGY_CONFIGS_NOPF,
+        "Figure 17: % energy difference vs no-PF baseline",
+        "paper GMean: runahead +44, runahead_enh +9, rab -4.4, "
+        "rab_cc -6.7, hybrid -2.3",
+    )
+
+
+def fig18_energy_pf(matrix: ExperimentMatrix) -> Table:
+    """Fig. 18: normalized energy, with prefetching."""
+    return _energy_table(
+        matrix, ENERGY_CONFIGS_PF,
+        "Figure 18: % energy difference vs no-PF baseline (with prefetching)",
+        "paper GMean: pf -19.5, runahead_pf -1.7, runahead_enh_pf -15.4, "
+        "rab_pf -20.8, rab_cc_pf -22.5, hybrid_pf -19.9",
+    )
+
+
+# The paper's headline aggregates, for machine-readable comparison.
+PAPER_HEADLINES = {
+    "runahead perf %": 14.3,
+    "rab_cc perf %": 17.2,
+    "hybrid perf %": 21.0,
+    "pf perf %": 37.5,
+    "runahead_pf perf %": 48.3,
+    "rab_cc_pf perf %": 48.2,
+    "hybrid_pf perf %": 51.5,
+    "runahead energy %": 44.0,
+    "runahead_enh energy %": 9.0,
+    "rab_cc energy %": -6.7,
+    "hybrid energy %": -2.3,
+}
+
+
+def export_comparison(matrix: ExperimentMatrix, path="results/comparison.json"):
+    """Write a machine-readable paper-vs-measured summary.
+
+    Each headline metric carries the measured value, the paper's value,
+    and whether the *direction* (sign relative to baseline) matches —
+    the reproduction criterion DESIGN.md commits to.
+    """
+    import json
+    from pathlib import Path
+
+    table = headline_summary(matrix)
+    payload = {}
+    for metric, measured, _paper in table.rows:
+        paper = PAPER_HEADLINES[metric]
+        payload[metric] = {
+            "measured": round(float(measured), 2),
+            "paper": paper,
+            "direction_matches": (measured >= 0) == (paper >= 0),
+        }
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2))
+    return out
+
+
+def headline_summary(matrix: ExperimentMatrix) -> Table:
+    """The abstract's headline numbers, measured vs paper."""
+    workloads = medium_high_names()
+    table = Table("Headline results: measured vs paper (medium+high gmean)",
+                  ["metric", "measured", "paper"])
+
+    def perf(config):
+        ratios = [matrix.ipc(w, config) / matrix.ipc(w, "baseline")
+                  for w in workloads]
+        return 100.0 * (gmean(ratios) - 1.0)
+
+    def energy(config):
+        ratios = [matrix.get(w, config)["total_energy_j"]
+                  / matrix.get(w, "baseline")["total_energy_j"]
+                  for w in workloads]
+        return 100.0 * (gmean(ratios) - 1.0)
+
+    table.add("runahead perf %", perf("runahead"), "+14.3")
+    table.add("rab_cc perf %", perf("rab_cc"), "+17.2")
+    table.add("hybrid perf %", perf("hybrid"), "+21.0")
+    table.add("pf perf %", perf("pf"), "+37.5")
+    table.add("runahead_pf perf %", perf("runahead_pf"), "+48.3")
+    table.add("rab_cc_pf perf %", perf("rab_cc_pf"), "+48.2")
+    table.add("hybrid_pf perf %", perf("hybrid_pf"), "+51.5")
+    table.add("runahead energy %", energy("runahead"), "+44.0")
+    table.add("runahead_enh energy %", energy("runahead_enh"), "+9.0")
+    table.add("rab_cc energy %", energy("rab_cc"), "-6.7")
+    table.add("hybrid energy %", energy("hybrid"), "-2.3")
+    return table

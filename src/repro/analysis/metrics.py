@@ -1,0 +1,35 @@
+"""Aggregation helpers for the evaluation (geometric means, deltas)."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def gmean(values: Iterable[float]) -> float:
+    """Geometric mean; values are clamped to a tiny positive floor so a
+    single zero (e.g. an IPC of 0 from a degenerate run) cannot poison
+    the aggregate with a domain error."""
+    values = [max(float(v), 1e-12) for v in values]
+    if not values:
+        raise ValueError("gmean of empty sequence")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def percent_delta(value: float, reference: float) -> float:
+    """``value`` vs ``reference`` as a percentage (+12.5 means +12.5%)."""
+    if reference == 0:
+        return 0.0
+    return 100.0 * (value / reference - 1.0)
+
+
+def gmean_percent_delta(values: Sequence[float],
+                        references: Sequence[float]) -> float:
+    """Geometric-mean speedup of pairwise ratios, as a percent delta.
+
+    This is how the paper aggregates per-benchmark normalized results
+    (the "GMean" bar of Figs 9/15-18)."""
+    if len(values) != len(references):
+        raise ValueError("length mismatch")
+    ratios = [v / r if r else 1.0 for v, r in zip(values, references)]
+    return 100.0 * (gmean(ratios) - 1.0)

@@ -1,0 +1,69 @@
+"""ASCII table rendering for figure/table reproductions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+
+@dataclass
+class Table:
+    """One reproduced figure/table: a title, headers, and rows."""
+
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *cells: Any) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} "
+                "columns"
+            )
+        self.rows.append(cells)
+
+    def column(self, name: str) -> list[Any]:
+        index = list(self.headers).index(name)
+        return [row[index] for row in self.rows]
+
+    def row_map(self, key_col: int = 0) -> dict[Any, Sequence[Any]]:
+        return {row[key_col]: row for row in self.rows}
+
+
+def _format_cell(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def render(table: Table) -> str:
+    """Render a :class:`Table` as aligned monospace text."""
+    headers = [str(h) for h in table.headers]
+    rows = [[_format_cell(c) for c in row] for row in table.rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) if i else c.ljust(w)
+                         for i, (c, w) in enumerate(zip(cells, widths)))
+
+    lines = [table.title, "=" * len(table.title), fmt(headers),
+             fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    for note in table.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)
+
+
+def write_report(table: Table, path: str | Path,
+                 directory: Optional[str | Path] = "results/figures") -> Path:
+    """Render and persist a table under ``results/figures/``."""
+    out_dir = Path(directory) if directory else Path(".")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = out_dir / path
+    out_path.write_text(render(table) + "\n")
+    return out_path

@@ -1,0 +1,13 @@
+"""Out-of-order back-end substrate: rename, PRF with poison bits, LSQ."""
+
+from .inflight import InFlightUop
+from .lsq import ForwardResult, StoreQueue
+from .rename import PhysicalRegisterFile, RenameState
+
+__all__ = [
+    "ForwardResult",
+    "InFlightUop",
+    "PhysicalRegisterFile",
+    "RenameState",
+    "StoreQueue",
+]

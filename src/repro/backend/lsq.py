@@ -1,0 +1,82 @@
+"""Load/store queue: store->load forwarding and memory disambiguation.
+
+Forwarding is word-granular (8 bytes, the ISA's only access size).  The
+disambiguation policy is conservative: a load may not access memory while
+an older store's address is still unknown (it is re-tried once the store
+resolves).  Stores whose address computation was poisoned during runahead
+are treated as non-aliasing, as in the paper's runahead scheme (runahead
+is speculative; chains "are not required to be exact").
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from .inflight import InFlightUop
+
+
+class ForwardResult(enum.Enum):
+    NO_MATCH = "no_match"       # no older store aliases: go to memory
+    WAIT = "wait"               # older store address unknown: retry later
+    FORWARD = "forward"         # value available from the youngest match
+
+
+class StoreQueue:
+    """Program-ordered queue of in-flight stores."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.entries: list[InFlightUop] = []
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def full(self) -> bool:
+        return len(self.entries) >= self.capacity
+
+    def push(self, uop: InFlightUop) -> None:
+        self.entries.append(uop)
+
+    def pop_oldest(self, uop: InFlightUop) -> None:
+        if self.entries and self.entries[0] is uop:
+            self.entries.pop(0)
+
+    def squash_younger(self, boundary_seq: int) -> None:
+        entries = self.entries
+        while entries and entries[-1].seq > boundary_seq:
+            entries.pop()
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+    def search(self, word_addr: int, load_seq: int
+               ) -> tuple[ForwardResult, Optional[InFlightUop]]:
+        """Find the youngest store older than ``load_seq`` matching
+        ``word_addr`` (8-byte granularity)."""
+        for store in reversed(self.entries):
+            if store.seq >= load_seq or store.squashed:
+                continue
+            if not store.addr_known:
+                if store.poisoned:
+                    continue  # poisoned-address store: assume no alias
+                return ForwardResult.WAIT, store
+            assert store.mem_addr is not None
+            if store.mem_addr >> 3 == word_addr:
+                if not store.data_known:
+                    # STA done, STD pending: the load must wait for data.
+                    return ForwardResult.WAIT, store
+                return ForwardResult.FORWARD, store
+        return ForwardResult.NO_MATCH, None
+
+    def find_producing_store(self, word_addr: int, load_seq: int
+                             ) -> Optional[InFlightUop]:
+        """Chain-generation helper (Algorithm 1): the youngest older store
+        with a *known* address matching the load's word."""
+        for store in reversed(self.entries):
+            if store.seq >= load_seq or store.squashed or not store.addr_known:
+                continue
+            assert store.mem_addr is not None
+            if store.mem_addr >> 3 == word_addr:
+                return store
+        return None

@@ -1,0 +1,217 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show the workload suite (with Table 2 classes) and the named
+    configurations.
+``run WORKLOAD``
+    Simulate one workload on one configuration and print a stats summary.
+``compare WORKLOAD``
+    Run several configurations on one workload side by side.
+``figure N``
+    Regenerate one of the paper's figures/tables from the cached
+    experiment matrix (running any missing cells).
+``suite``
+    Regenerate every figure/table (the full evaluation).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional, Sequence
+
+from .analysis import ExperimentMatrix, figures, render, write_report
+from .analysis.sweeps import CANNED_SWEEPS, run_named_sweep
+from .config import CONFIG_BUILDERS, build_named_config
+from .core import simulate
+from .workloads import intensity_of, workload_names
+
+# figure/table id -> (extractor taking a matrix, output filename)
+FIGURES: dict[str, tuple[Callable, str]] = {
+    "1": (figures.fig01_memory_stalls, "fig01_memory_stalls.txt"),
+    "2": (figures.fig02_source_on_chip, "fig02_source_on_chip.txt"),
+    "3": (figures.fig03_chain_fraction, "fig03_chain_fraction.txt"),
+    "4": (figures.fig04_chain_repetition, "fig04_chain_repetition.txt"),
+    "5": (figures.fig05_chain_length, "fig05_chain_length.txt"),
+    "9": (figures.fig09_performance_nopf, "fig09_performance_nopf.txt"),
+    "10": (figures.fig10_mlp, "fig10_mlp.txt"),
+    "11": (figures.fig11_rab_cycles, "fig11_rab_cycles.txt"),
+    "12": (figures.fig12_chain_cache_hits, "fig12_chain_cache_hits.txt"),
+    "13": (figures.fig13_chain_cache_accuracy,
+           "fig13_chain_cache_accuracy.txt"),
+    "14": (figures.fig14_hybrid_split, "fig14_hybrid_split.txt"),
+    "15": (figures.fig15_performance_pf, "fig15_performance_pf.txt"),
+    "16": (figures.fig16_memory_traffic, "fig16_memory_traffic.txt"),
+    "17": (figures.fig17_energy_nopf, "fig17_energy_nopf.txt"),
+    "18": (figures.fig18_energy_pf, "fig18_energy_pf.txt"),
+    "table1": (lambda _m: figures.table1_configuration(),
+               "table1_configuration.txt"),
+    "table2": (figures.table2_mpki_classes, "table2_mpki_classes.txt"),
+    "headline": (figures.headline_summary, "headline_summary.txt"),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Runahead-buffer (MICRO'15) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and configurations")
+
+    run = sub.add_parser("run", help="simulate one workload")
+    run.add_argument("workload")
+    run.add_argument("--config", default="baseline",
+                     choices=sorted(CONFIG_BUILDERS))
+    run.add_argument("--instructions", type=int, default=10_000)
+    run.add_argument("--warmup", type=int, default=12_000)
+
+    compare = sub.add_parser("compare",
+                             help="run several configs on one workload")
+    compare.add_argument("workload")
+    compare.add_argument("--configs", nargs="+",
+                         default=["baseline", "runahead", "rab_cc", "hybrid"])
+    compare.add_argument("--instructions", type=int, default=10_000)
+    compare.add_argument("--warmup", type=int, default=12_000)
+
+    figure = sub.add_parser("figure", help="regenerate one paper figure")
+    figure.add_argument("id", choices=sorted(FIGURES))
+    figure.add_argument("--instructions", type=int, default=None)
+
+    suite = sub.add_parser("suite", help="regenerate all figures/tables")
+    suite.add_argument("--instructions", type=int, default=None)
+
+    sweep = sub.add_parser("sweep", help="run a sensitivity sweep")
+    sweep.add_argument("name", choices=sorted(CANNED_SWEEPS))
+    sweep.add_argument("--benches", nargs="+", default=None)
+    sweep.add_argument("--instructions", type=int, default=3000)
+
+    return parser
+
+
+def _cmd_list() -> int:
+    print("workloads (Table 2 classes):")
+    for name in workload_names():
+        print(f"  {name:12s} {intensity_of(name)}")
+    print("\nconfigurations:")
+    for name in CONFIG_BUILDERS:
+        cfg = build_named_config(name)
+        bits = [f"runahead={cfg.runahead.mode.value}"]
+        if cfg.prefetcher.enabled:
+            bits.append("prefetcher")
+        if cfg.runahead.enhancements:
+            bits.append("enhancements")
+        print(f"  {name:16s} {' '.join(bits)}")
+    return 0
+
+
+def _print_stats(stats, energy) -> None:
+    print(f"  ipc                 {stats.ipc:.4f}")
+    print(f"  cycles              {stats.cycles}")
+    print(f"  instructions        {stats.committed_insts}")
+    print(f"  mpki                {stats.mpki:.2f}")
+    print(f"  memory-stall cycles {stats.memstall_cycles} "
+          f"({100 * stats.memstall_fraction:.1f}%)")
+    print(f"  branch accuracy     {100 * stats.branch_accuracy:.1f}%")
+    print(f"  dram requests       {stats.dram_requests}")
+    if stats.runahead_intervals:
+        print(f"  runahead intervals  {stats.runahead_intervals} "
+              f"({stats.misses_per_interval:.1f} misses each)")
+        print(f"  cycles in runahead  trad={stats.cycles_in_traditional} "
+              f"buffer={stats.cycles_in_rab}")
+    if stats.chain_cache_hits + stats.chain_cache_misses:
+        print(f"  chain cache         "
+              f"{100 * stats.chain_cache_hit_rate:.1f}% hit rate")
+    print(f"  energy              {energy.total * 1e6:.2f} uJ "
+          f"(front-end {energy.frontend_dynamic * 1e6:.2f} uJ)")
+
+
+def _cmd_run(args) -> int:
+    result = simulate(args.workload, build_named_config(args.config),
+                      max_instructions=args.instructions,
+                      warmup_instructions=args.warmup,
+                      config_name=args.config)
+    print(f"{args.workload} / {args.config}:")
+    _print_stats(result.stats, result.energy)
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    header = (f"{'config':16s} {'ipc':>7s} {'speedup':>8s} {'mpki':>6s} "
+              f"{'dram':>6s} {'energy':>8s}")
+    print(f"{args.workload}:")
+    print(header)
+    print("-" * len(header))
+    base_ipc: Optional[float] = None
+    base_energy: Optional[float] = None
+    for config_name in args.configs:
+        result = simulate(args.workload, build_named_config(config_name),
+                          max_instructions=args.instructions,
+                          warmup_instructions=args.warmup,
+                          config_name=config_name)
+        stats = result.stats
+        if base_ipc is None:
+            base_ipc = stats.ipc
+            base_energy = result.energy.total
+        speedup = 100 * (stats.ipc / base_ipc - 1)
+        energy = 100 * (result.energy.total / base_energy - 1)
+        print(f"{config_name:16s} {stats.ipc:7.3f} {speedup:+7.1f}% "
+              f"{stats.mpki:6.1f} {stats.dram_requests:6d} "
+              f"{energy:+7.1f}%")
+    return 0
+
+
+def _matrix(instructions: Optional[int]) -> ExperimentMatrix:
+    if instructions is not None:
+        return ExperimentMatrix(instructions=instructions)
+    return ExperimentMatrix()
+
+
+def _cmd_figure(args) -> int:
+    matrix = _matrix(args.instructions)
+    extractor, filename = FIGURES[args.id]
+    table = extractor(matrix)
+    matrix.save()
+    path = write_report(table, filename)
+    print(render(table))
+    print(f"\nwritten to {path}")
+    return 0
+
+
+def _cmd_suite(args) -> int:
+    matrix = _matrix(args.instructions)
+    for fig_id, (extractor, filename) in FIGURES.items():
+        table = extractor(matrix)
+        path = write_report(table, filename)
+        matrix.save()
+        print(f"[{fig_id:>8s}] {table.title}  -> {path}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "suite":
+        return _cmd_suite(args)
+    if args.command == "sweep":
+        table = run_named_sweep(args.name, benches=args.benches,
+                                instructions=args.instructions)
+        path = write_report(table, f"sweep_{args.name}.txt")
+        print(render(table))
+        print(f"\nwritten to {path}")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

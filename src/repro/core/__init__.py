@@ -1,0 +1,19 @@
+"""The simulated core: processor, statistics, dataflow analytics, runner."""
+
+from .dataflow import DataflowTracker
+from .processor import Processor
+from .sim import SimulationResult, simulate
+from .stats import ChainAnalysis, SimStats
+from .trace import CommitTrace, CommittedOp, render_interval_timeline
+
+__all__ = [
+    "ChainAnalysis",
+    "CommitTrace",
+    "CommittedOp",
+    "DataflowTracker",
+    "Processor",
+    "SimStats",
+    "SimulationResult",
+    "render_interval_timeline",
+    "simulate",
+]

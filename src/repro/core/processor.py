@@ -1,0 +1,1061 @@
+"""The cycle-level out-of-order processor (Table 1 core).
+
+Execution-driven: micro-ops compute real 64-bit values against a sparse
+functional memory, so runahead modes generate real addresses.  One
+:class:`Processor` models the 4-wide superscalar core with a 192-entry
+ROB, register renaming with poison bits, a hybrid branch predictor with
+wrong-path execution, the full cache/DRAM hierarchy, and three operating
+modes:
+
+* ``normal``   — ordinary out-of-order execution;
+* ``runahead`` — traditional runahead [Mutlu+, HPCA'03]: checkpoint,
+  poison the blocking load, keep fetching/executing, pseudo-retire;
+* ``rab``      — the paper's runahead buffer: extract the blocking miss's
+  dependence chain from the ROB (Algorithm 1), clock-gate the front-end,
+  and loop the chain through rename until the miss returns.
+
+The main loop is event-accelerated: cycles where provably nothing can
+happen (pure memory stall) are skipped in bulk, with stall accounting
+preserved — necessary for a Python-hosted cycle-level model.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Optional
+
+from ..backend import ForwardResult, InFlightUop, PhysicalRegisterFile, \
+    RenameState, StoreQueue
+from ..config import RunaheadMode, SystemConfig
+from ..frontend import BranchPredictor, FetchedUop, FetchUnit, INST_BYTES
+from ..isa import (
+    DataMemory,
+    Interpreter,
+    Opcode,
+    Program,
+    UopClass,
+    alu_result,
+    branch_taken,
+    branch_target,
+    mem_address,
+)
+from ..memory import MemoryHierarchy
+from ..runahead import (
+    ChainCache,
+    ChainUop,
+    RunaheadBuffer,
+    RunaheadCache,
+    RunaheadPolicyState,
+    chain_signature,
+    generate_chain,
+)
+from .dataflow import DataflowTracker
+from .stats import SimStats
+
+_WATCHDOG_CYCLES = 1_000_000
+
+
+class Processor:
+    """One simulated core plus its memory system."""
+
+    def __init__(
+        self,
+        program: Program,
+        config: Optional[SystemConfig] = None,
+        memory: Optional[DataMemory] = None,
+        init_regs: Optional[list[int]] = None,
+    ) -> None:
+        if config is None:
+            from ..config import default_system
+            config = default_system()
+        config.validate()
+        self.config = config
+        self.program = program
+        self.memory = memory if memory is not None else DataMemory()
+
+        core = config.core
+        self.width = core.width
+        self.hierarchy = MemoryHierarchy(config)
+        self.predictor = BranchPredictor(config.branch)
+        self.fetch = FetchUnit(program, self.predictor, self.hierarchy, core)
+
+        self.prf = PhysicalRegisterFile(core.num_phys_regs)
+        self.rename = RenameState(self.prf)
+        if init_regs is not None:
+            self.rename.reset_to_values(list(init_regs))
+
+        self.rob: deque[InFlightUop] = deque()
+        self.store_queue = StoreQueue(core.store_queue_size)
+        self.load_queue_used = 0
+        self.rs_used = 0
+        self.decode_queue: deque[tuple[int, FetchedUop]] = deque()
+        self.decode_queue_cap = 4 * core.width
+
+        self.events: list[tuple[int, int, InFlightUop]] = []
+        self._retries: list[tuple[int, int, InFlightUop]] = []
+        self.ready: deque[InFlightUop] = deque()
+        self.deferred_loads: list[InFlightUop] = []
+        self.waiters: dict[int, list[InFlightUop]] = {}
+
+        # Runahead machinery.
+        ra = config.runahead
+        self.mode = "normal"
+        self.ra_policy = RunaheadPolicyState(ra)
+        self.runahead_cache = RunaheadCache(
+            ra.runahead_cache_bytes, ra.runahead_cache_assoc,
+            ra.runahead_cache_line,
+        )
+        self.chain_cache = ChainCache(ra.chain_cache_entries) if ra.mode in (
+            RunaheadMode.BUFFER_CHAIN_CACHE, RunaheadMode.HYBRID
+        ) else None
+        self.rab = RunaheadBuffer(ra.buffer_uops)
+        self._checkpoint: Optional[list[int]] = None
+        self._predictor_checkpoint = None
+        self._blocking_pc = -1
+        self._exit_cycle = -1
+        self._rab_start_cycle = -1
+        self._interval_pseudo_retired = 0
+        self._committed_at_entry = 0
+        # Runahead loads whose data is further away than this are INV.
+        self._poison_latency = 3 * config.llc.latency
+
+        # Analytics.
+        self.stats = SimStats(workload=program.name)
+        self.tracker = (
+            DataflowTracker(self.stats.chains)
+            if ra.collect_chain_stats else None
+        )
+
+        # Bookkeeping.
+        self.now = 0
+        self.seq = 0
+        self.committed = 0
+        self.dispatched_total = 0
+        self.halted = False
+        self._entry_declined_seq = -1
+        self._last_progress = 0
+        self.ev: dict[str, int] = {}
+        # Optional observer called as commit_hook(uop, cycle) for every
+        # architecturally committed instruction (see repro.core.trace).
+        self.commit_hook = None
+
+    # ------------------------------------------------------------------
+    # Warm-up
+    # ------------------------------------------------------------------
+
+    def warm_up(self, instructions: int) -> None:
+        """Fast-forward functionally: execute ``instructions`` with the
+        reference interpreter, warming caches and the branch predictor,
+        then start timing simulation from the resulting state."""
+        regs = self.rename.arch_values()
+        interp = Interpreter(self.program, self.memory, regs=regs)
+        interp.pc = self.fetch.pc
+        hierarchy = self.hierarchy
+        predictor = self.predictor
+        prev_taken: dict[int, bool] = {}
+        for op in interp.run(instructions):
+            hierarchy.warm_ifetch(op.pc * INST_BYTES)
+            if op.mem_addr is not None:
+                hierarchy.warm_load(op.mem_addr)
+            inst = op.inst
+            if inst.is_conditional_branch:
+                assert op.taken is not None
+                mispred = prev_taken.get(op.pc, False) != op.taken
+                predictor.update(op.pc, inst, op.taken, op.next_pc, mispred)
+                prev_taken[op.pc] = op.taken
+            elif inst.is_branch:
+                predictor.update(op.pc, inst, True, op.next_pc, False)
+            if interp.halted:
+                break
+        self.rename.reset_to_values(interp.regs)
+        self.fetch.redirect(interp.pc, 0)
+        self.halted = interp.halted
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self, max_instructions: int,
+            max_cycles: Optional[int] = None) -> SimStats:
+        """Simulate until ``max_instructions`` commit (or HALT)."""
+        target = self.committed + max_instructions
+        while not self.halted and self.committed < target:
+            if max_cycles is not None and self.now >= max_cycles:
+                break
+            self._step()
+            if self.now - self._last_progress > _WATCHDOG_CYCLES:
+                raise RuntimeError(
+                    f"no forward progress for {_WATCHDOG_CYCLES} cycles "
+                    f"at cycle {self.now} (mode={self.mode})"
+                )
+        if self.ra_policy.current is not None:
+            self._finish_interval()
+        return self._finalize_stats()
+
+    # -- one cycle ---------------------------------------------------------------
+
+    def _step(self) -> None:
+        now = self.now
+        retries = self._retries
+        while retries and retries[0][0] <= now:
+            _at, _seq, uop = heapq.heappop(retries)
+            if not uop.squashed and not uop.issued:
+                self.ready.append(uop)
+        self._writeback(now)
+        if self.mode == "normal":
+            self._commit(now)
+            if self.halted:
+                return
+            self._maybe_enter_runahead(now)
+        else:
+            self._pseudo_retire(now)
+            if now >= self._exit_cycle:
+                self._exit_runahead(now)
+        self._issue(now)
+        if self.mode == "rab":
+            if self.decode_queue:
+                self._dispatch_from_decode(now)
+            elif now >= self._rab_start_cycle:
+                self._dispatch_from_buffer(now)
+        else:
+            self._dispatch_from_decode(now)
+            self._fetch_into_decode(now)
+        self._advance(now)
+
+    def _advance(self, now: int) -> None:
+        """Advance the clock, skipping provably idle stretches in bulk."""
+        nxt = now + 1
+        if not self.ready and not self.deferred_loads:  # retries handled via candidates
+            candidates = []
+            if self.events:
+                candidates.append(self.events[0][0])
+            if self._retries:
+                candidates.append(self._retries[0][0])
+            if self.decode_queue:
+                candidates.append(self.decode_queue[0][0])
+            fetchable = (
+                self.mode != "rab"
+                and not self.fetch.halted
+                and not self.fetch.wait_for_redirect
+                and len(self.decode_queue) < self.decode_queue_cap
+            )
+            if fetchable:
+                candidates.append(max(nxt, self.fetch.stalled_until))
+            if self.mode == "rab":
+                candidates.append(max(nxt, self._rab_start_cycle))
+            if self.mode != "normal":
+                candidates.append(self._exit_cycle)
+            if candidates:
+                nxt = max(nxt, min(candidates))
+        delta = nxt - now
+        # Stall/mode accounting covers skipped cycles too: by construction
+        # nothing changes during the skipped stretch.
+        if self.mode == "runahead":
+            self.stats.cycles_in_traditional += delta
+        elif self.mode == "rab":
+            self.stats.cycles_in_rab += delta
+            self.stats.frontend_idle_cycles += delta
+        if self.rob:
+            head = self.rob[0]
+            if (not head.completed and head.inst.is_load
+                    and head.level == "DRAM"):
+                self.stats.memstall_cycles += delta
+        self.now = nxt
+
+    # ------------------------------------------------------------------
+    # Writeback / branch resolution
+    # ------------------------------------------------------------------
+
+    def _writeback(self, now: int) -> None:
+        events = self.events
+        while events and events[0][0] <= now:
+            _done, _seq, uop = heapq.heappop(events)
+            if uop.squashed or uop.completed:
+                continue
+            self._complete(uop, now)
+
+    def _complete(self, uop: InFlightUop, now: int) -> None:
+        uop.completed = True
+        ev = self.ev
+        if uop.dest_phys is not None:
+            self.prf.write(uop.dest_phys, uop.value, uop.poisoned)
+            ev["prf_write"] = ev.get("prf_write", 0) + 1
+            waiters = self.waiters.pop(uop.dest_phys, None)
+            if waiters:
+                ready = self.ready
+                for waiter in waiters:
+                    if waiter.squashed:
+                        continue
+                    waiter.waiting -= 1
+                    if waiter.waiting == 0:
+                        ready.append(waiter)
+        ev["rs_wakeup"] = ev.get("rs_wakeup", 0) + 1
+        if uop.inst.is_store:
+            # Address now known: deferred loads may proceed.
+            if self.deferred_loads:
+                self.ready.extend(
+                    u for u in self.deferred_loads if not u.squashed
+                )
+                self.deferred_loads.clear()
+        if self.tracker is not None:
+            self.tracker.note_exec(
+                uop.seq, uop.pc, uop.producer_seqs,
+                uop.inst.is_load and uop.level == "DRAM",
+                uop.runahead,
+            )
+        if uop.inst.is_branch:
+            self._resolve_branch(uop, now)
+
+    def _resolve_branch(self, uop: InFlightUop, now: int) -> None:
+        inst = uop.inst
+        if uop.poisoned:
+            # Sources poisoned during runahead: trust the prediction.
+            self.stats.inv_ops += 1
+            return
+        if inst.is_conditional_branch:
+            self.stats.cond_branches += 1
+        mispredicted = uop.actual_next_pc != uop.predicted_next_pc
+        uop.mispredicted = mispredicted
+        self.predictor.update(
+            uop.pc, inst, uop.taken, uop.actual_next_pc, mispredicted,
+            ghr=uop.snapshot.ghr if uop.snapshot is not None else None,
+        )
+        if not mispredicted:
+            return
+        if uop.predicted_next_pc == -1:
+            # Indirect target unknown at fetch: not a squash, fetch simply
+            # waited for the resolve.
+            self.fetch.redirect(uop.actual_next_pc, now + 1)
+            return
+        if uop.snapshot is not None:
+            self.predictor.repair(uop.pc, inst, uop.taken, uop.snapshot)
+        self._squash_younger(uop.seq)
+        self.decode_queue.clear()
+        self.fetch.redirect(
+            uop.actual_next_pc,
+            now + self.config.core.branch_mispredict_redirect,
+        )
+
+    def _squash_younger(self, boundary_seq: int) -> None:
+        rob = self.rob
+        rat = self.rename.rat
+        free = self.rename.free_list
+        squashed = 0
+        while rob and rob[-1].seq > boundary_seq:
+            uop = rob.pop()
+            uop.squashed = True
+            squashed += 1
+            if uop.dest_phys is not None:
+                rat[uop.dest_arch] = uop.old_phys
+                free.append(uop.dest_phys)
+            if not uop.issued:
+                self.rs_used -= 1
+            if uop.inst.is_load:
+                self.load_queue_used -= 1
+        self.store_queue.squash_younger(boundary_seq)
+        if self.deferred_loads:
+            self.deferred_loads = [
+                u for u in self.deferred_loads if not u.squashed
+            ]
+        self.stats.squashed_uops += squashed
+
+    # ------------------------------------------------------------------
+    # Commit (normal) and pseudo-retire (runahead)
+    # ------------------------------------------------------------------
+
+    def _commit(self, now: int) -> None:
+        rob = self.rob
+        rename = self.rename
+        ev = self.ev
+        for _ in range(self.width):
+            if not rob:
+                break
+            uop = rob[0]
+            if not uop.completed:
+                break
+            rob.popleft()
+            if uop.dest_phys is not None:
+                if uop.old_phys is not None:
+                    rename.free(uop.old_phys)
+                rename.commit_rat[uop.dest_arch] = uop.dest_phys
+            inst = uop.inst
+            if inst.is_store:
+                assert uop.mem_addr is not None
+                self.memory.store(uop.mem_addr, uop.store_data)
+                self.hierarchy.store_commit(uop.mem_addr, now)
+                self.store_queue.pop_oldest(uop)
+            elif inst.is_load:
+                self.load_queue_used -= 1
+            ev["rob_read"] = ev.get("rob_read", 0) + 1
+            self.committed += 1
+            self._last_progress = now
+            if self.commit_hook is not None:
+                self.commit_hook(uop, now)
+            if inst.is_halt:
+                self.halted = True
+                break
+
+    def _pseudo_retire(self, now: int) -> None:
+        """Runahead retirement: drain the ROB without architectural effect;
+        stores feed the runahead cache."""
+        rob = self.rob
+        rename = self.rename
+        for _ in range(self.width):
+            if not rob:
+                break
+            uop = rob[0]
+            if not uop.completed:
+                if (uop.issued and uop.inst.is_load
+                        and uop.done_cycle - now > self._poison_latency):
+                    # Runahead semantics: a load waiting on far-away data
+                    # (a DRAM miss or a merge with an in-flight fill)
+                    # becomes INV — poison its destination and pseudo-
+                    # retire it; its prefetch is already in flight.
+                    self._poison_head(uop)
+                    self.stats.inv_ops += 1
+                else:
+                    break
+            rob.popleft()
+            if uop.dest_phys is not None and uop.old_phys is not None:
+                rename.free(uop.old_phys)
+            inst = uop.inst
+            if inst.is_store:
+                if (not uop.poisoned and uop.addr_known
+                        and self.config.runahead.runahead_cache_enabled):
+                    assert uop.mem_addr is not None
+                    self.runahead_cache.write(uop.mem_addr, uop.store_data)
+                    self.ev["runahead_cache"] = \
+                        self.ev.get("runahead_cache", 0) + 1
+                self.store_queue.pop_oldest(uop)
+            elif inst.is_load:
+                self.load_queue_used -= 1
+            self.stats.runahead_pseudo_retired += 1
+            self._interval_pseudo_retired += 1
+            self._last_progress = now
+
+    # ------------------------------------------------------------------
+    # Runahead entry / exit
+    # ------------------------------------------------------------------
+
+    def _window_stalled(self) -> bool:
+        """True when the out-of-order window cannot grow further: the ROB
+        is full, or a secondary structure (RS/LSQ) has filled behind the
+        blocking miss."""
+        core = self.config.core
+        return (
+            len(self.rob) >= core.rob_size
+            or self.rs_used >= core.rs_size
+            or self.store_queue.full()
+            or self.load_queue_used >= core.load_queue_size
+        )
+
+    def _maybe_enter_runahead(self, now: int) -> None:
+        ra = self.config.runahead
+        if ra.mode is RunaheadMode.NONE:
+            return
+        rob = self.rob
+        if not rob or not self._window_stalled():
+            return
+        head = rob[0]
+        if head.completed or not head.inst.is_load or head.level != "DRAM":
+            return
+        if head.merged:
+            # The line is already on its way (e.g. an in-flight prefetch):
+            # the remaining stall is not worth a runahead interval.
+            return
+        if head.seq == self._entry_declined_seq:
+            return
+        remaining = head.done_cycle - now
+        if remaining < ra.min_interval_cycles:
+            self._entry_declined_seq = head.seq
+            return
+        use_enhancements = ra.enhancements
+        if use_enhancements and ra.mode is not RunaheadMode.HYBRID:
+            if not self.ra_policy.enhancements_allow(
+                self.committed, head.miss_issue_retired
+            ):
+                self._entry_declined_seq = head.seq
+                return
+
+        mode = ra.mode
+        if mode is RunaheadMode.TRADITIONAL:
+            self._enter_traditional(head, now)
+            return
+
+        # Buffer modes: consult the chain cache, then Algorithm 1.
+        chain: Optional[tuple[ChainUop, ...]] = None
+        gen_cycles = 1
+        used_cc = False
+        ev = self.ev
+        if self.chain_cache is not None:
+            cached = self.chain_cache.lookup(head.pc)
+            ev["chain_cache_read"] = ev.get("chain_cache_read", 0) + 1
+            if cached is not None:
+                chain = cached
+                used_cc = True
+                if ra.collect_chain_stats:
+                    self._check_chain_cache_accuracy(head, cached)
+        if chain is None:
+            result = generate_chain(
+                rob, head, self.store_queue,
+                max_length=ra.max_chain_length,
+                reg_searches_per_cycle=ra.reg_searches_per_cycle,
+                readout_width=ra.chain_readout_width,
+            )
+            self.stats.chain_generations += 1
+            ev["pc_cam"] = ev.get("pc_cam", 0) + 1
+            ev["destreg_cam"] = ev.get("destreg_cam", 0) + result.reg_searches
+            ev["sq_cam"] = ev.get("sq_cam", 0) + result.sq_searches
+            ev["rob_read"] = ev.get("rob_read", 0) + len(result.chain)
+            gen_cycles = result.cycles
+            self.stats.chain_gen_cycles += gen_cycles
+            if mode is RunaheadMode.HYBRID:
+                if not result.found_pc or result.hit_cap:
+                    # Fig. 8 fallback: traditional runahead (gated by the
+                    # enhancement filters, which the hybrid policy uses).
+                    if self.ra_policy.enhancements_allow(
+                        self.committed, head.miss_issue_retired
+                    ):
+                        self.ra_policy.hybrid_traditional_entries += 1
+                        self._enter_traditional(head, now)
+                    else:
+                        self._entry_declined_seq = head.seq
+                    return
+                chain = result.chain
+                self.ra_policy.hybrid_chain_entries += 1
+            else:
+                if not result.usable:
+                    self.ra_policy.entries_blocked_no_chain += 1
+                    self._entry_declined_seq = head.seq
+                    return
+                chain = result.chain
+            if self.chain_cache is not None and chain:
+                self.chain_cache.insert(head.pc, chain)
+                ev["chain_cache_write"] = ev.get("chain_cache_write", 0) + 1
+        elif mode is RunaheadMode.HYBRID:
+            self.ra_policy.hybrid_cc_entries += 1
+        if not chain:
+            self.ra_policy.entries_blocked_no_chain += 1
+            self._entry_declined_seq = head.seq
+            return
+        self._enter_rab(head, chain, gen_cycles, used_cc, now)
+
+    def _check_chain_cache_accuracy(
+        self, head: InFlightUop, cached: tuple[ChainUop, ...]
+    ) -> None:
+        """Fig. 13 instrumentation: does the cached chain equal the chain
+        Algorithm 1 would generate right now?  Analysis only."""
+        ra = self.config.runahead
+        fresh = generate_chain(
+            self.rob, head, self.store_queue,
+            max_length=ra.max_chain_length,
+            reg_searches_per_cycle=ra.reg_searches_per_cycle,
+            readout_width=ra.chain_readout_width,
+        )
+        self.ra_policy.cc_hits_checked += 1
+        if fresh.usable and chain_signature(fresh.chain) == chain_signature(cached):
+            self.ra_policy.cc_hits_exact += 1
+
+    def _take_checkpoint(self, head: InFlightUop, now: int) -> None:
+        self._checkpoint = self.rename.arch_values()
+        self._predictor_checkpoint = self.predictor.checkpoint_full()
+        self._blocking_pc = head.pc
+        self._exit_cycle = head.done_cycle
+        self._interval_pseudo_retired = 0
+        self._committed_at_entry = self.committed
+        self.runahead_cache.clear()
+        self.ev["checkpoint"] = self.ev.get("checkpoint", 0) + 1
+
+    def _poison_head(self, head: InFlightUop) -> None:
+        """Mark the blocking load INV: complete it with a poisoned dest so
+        pseudo-retirement can drain past it."""
+        head.poisoned = True
+        head.completed = True
+        if head.dest_phys is not None:
+            self.prf.write(head.dest_phys, 0, poisoned=True)
+            waiters = self.waiters.pop(head.dest_phys, None)
+            if waiters:
+                for waiter in waiters:
+                    if waiter.squashed:
+                        continue
+                    waiter.waiting -= 1
+                    if waiter.waiting == 0:
+                        self.ready.append(waiter)
+
+    def _enter_traditional(self, head: InFlightUop, now: int) -> None:
+        self._take_checkpoint(head, now)
+        self._poison_head(head)
+        self.mode = "runahead"
+        self.stats.traditional_intervals += 1
+        self.ra_policy.begin_interval("traditional", now)
+        if self.tracker is not None:
+            self.tracker.begin_interval()
+
+    def _enter_rab(self, head: InFlightUop, chain: tuple[ChainUop, ...],
+                   gen_cycles: int, used_cc: bool, now: int) -> None:
+        """Enter runahead-buffer mode (§4.3).
+
+        Like traditional runahead, the in-flight window keeps executing
+        and pseudo-retires — only the *supply* of new uops changes: the
+        front-end is clock-gated and, once the decode pipe drains, rename
+        pulls decoded uops from the runahead buffer.  Chain live-ins thus
+        rename to the youngest in-flight producers, so the looped chain
+        continues from the furthest point the window reached."""
+        self._take_checkpoint(head, now)
+        self._poison_head(head)
+        self.fetch.wait_for_redirect = True   # clock-gate the front-end
+        self.rab.load_chain(chain)
+        self._rab_start_cycle = now + gen_cycles
+        self.mode = "rab"
+        self.stats.rab_intervals += 1
+        self.ra_policy.begin_interval(
+            "buffer", now, chain_gen_cycles=gen_cycles, used_chain_cache=used_cc
+        )
+
+    def _flush_pipeline(self) -> None:
+        for uop in self.rob:
+            uop.squashed = True
+        self.stats.squashed_uops += len(self.rob)
+        self.rob.clear()
+        self.store_queue.clear()
+        self.load_queue_used = 0
+        self.rs_used = 0
+        self.ready.clear()
+        self.deferred_loads.clear()
+        self._retries.clear()
+        self.waiters.clear()
+        self.decode_queue.clear()
+        self.fetch.flush()
+
+    def _finish_interval(self) -> None:
+        self.ra_policy.end_interval(
+            self.now, self._committed_at_entry, self._interval_pseudo_retired
+        )
+
+    def _exit_runahead(self, now: int) -> None:
+        was_rab = self.mode == "rab"
+        if self.tracker is not None and not was_rab:
+            self.tracker.end_interval()
+        self._finish_interval()
+        self._flush_pipeline()
+        assert self._checkpoint is not None
+        self.rename.reset_to_values(self._checkpoint)
+        if self._predictor_checkpoint is not None:
+            self.predictor.restore_full(self._predictor_checkpoint)
+        self.rab.deactivate()
+        self.mode = "normal"
+        self.fetch.redirect(self._blocking_pc, now + 1)
+        self._checkpoint = None
+        self._exit_cycle = -1
+        self._last_progress = now
+
+    # ------------------------------------------------------------------
+    # Issue / execute
+    # ------------------------------------------------------------------
+
+    def _issue(self, now: int) -> None:
+        ready = self.ready
+        if not ready:
+            return
+        core = self.config.core
+        budget = self.width
+        ports = {
+            UopClass.LOAD: core.mem_ports,
+            UopClass.STORE: core.mem_ports,
+            UopClass.IALU: core.int_alu_units,
+            UopClass.BRANCH: core.int_alu_units,
+            UopClass.NOP: core.int_alu_units,
+            UopClass.IMUL: core.mul_div_units,
+            UopClass.IDIV: core.mul_div_units,
+            UopClass.FADD: core.fp_units,
+            UopClass.FMUL: core.fp_units,
+            UopClass.FDIV: core.fp_units,
+        }
+        skipped: list[InFlightUop] = []
+        ev = self.ev
+        while ready and budget > 0:
+            uop = ready.popleft()
+            if uop.squashed:
+                continue
+            if uop.issued:
+                if (uop.inst.is_store and uop.addr_known
+                        and not uop.data_known and not uop.completed):
+                    # STD: the store's data operand has arrived.
+                    data, data_poison = self._read_operand(uop.src2_phys)
+                    uop.store_data = data
+                    uop.data_known = True
+                    if data_poison and self.mode != "normal":
+                        uop.poisoned = True
+                    heapq.heappush(self.events, (now + 1, uop.seq, uop))
+                continue
+            cls = uop.inst.uop_class
+            if cls in (UopClass.LOAD, UopClass.STORE, UopClass.BRANCH,
+                       UopClass.NOP):
+                port_cls = (UopClass.LOAD if cls in (UopClass.LOAD,
+                                                     UopClass.STORE)
+                            else UopClass.IALU)
+            elif cls in (UopClass.IMUL, UopClass.IDIV):
+                port_cls = UopClass.IMUL
+            elif cls in (UopClass.FADD, UopClass.FMUL, UopClass.FDIV):
+                port_cls = UopClass.FADD
+            else:
+                port_cls = UopClass.IALU
+            if ports[port_cls] <= 0:
+                skipped.append(uop)
+                continue
+            ports[port_cls] -= 1
+            budget -= 1
+            issued = self._execute(uop, now)
+            if issued:
+                uop.issued = True
+                self.rs_used -= 1
+                self.stats.issued_uops += 1
+                ev["issue"] = ev.get("issue", 0) + 1
+        for uop in reversed(skipped):
+            ready.appendleft(uop)
+
+    def _read_operand(self, phys: Optional[int]) -> tuple[int, bool]:
+        if phys is None:
+            return 0, False
+        prf = self.prf
+        return prf.value[phys], bool(prf.poison[phys])
+
+    def _execute(self, uop: InFlightUop, now: int) -> bool:
+        """Functionally execute and schedule completion.  Returns False if
+        the uop must be re-tried later (memory disambiguation wait)."""
+        core = self.config.core
+        inst = uop.inst
+        cls = inst.uop_class
+        a, a_poison = self._read_operand(uop.src1_phys)
+        b, b_poison = self._read_operand(uop.src2_phys)
+        poisoned = (a_poison or b_poison) and self.mode != "normal"
+        ev = self.ev
+
+        if cls is UopClass.LOAD:
+            if poisoned:
+                # INV load: no memory access (address is garbage).
+                uop.poisoned = True
+                uop.value = 0
+                self.stats.inv_ops += 1
+                done = now + core.latency_agu + 1
+            else:
+                done = self._execute_load(uop, a, now)
+                if done < 0:
+                    return False
+            ev["agu"] = ev.get("agu", 0) + 1
+        elif cls is UopClass.STORE:
+            ev["agu"] = ev.get("agu", 0) + 1
+            if a_poison and self.mode != "normal":
+                # INV store: the address is garbage, drop it.
+                uop.poisoned = True
+                self.stats.inv_ops += 1
+                done = now + core.latency_agu
+            else:
+                uop.mem_addr = mem_address(inst, a)
+                uop.addr_known = True
+                if self.deferred_loads:
+                    # Disambiguation: blocked loads may re-try now.
+                    self.ready.extend(
+                        u for u in self.deferred_loads if not u.squashed
+                    )
+                    self.deferred_loads.clear()
+                data_phys = uop.src2_phys
+                if data_phys is None or self.prf.ready[data_phys]:
+                    uop.store_data = b
+                    uop.data_known = True
+                    if b_poison and self.mode != "normal":
+                        uop.poisoned = True
+                    done = now + core.latency_agu
+                else:
+                    # STA done; STD waits for the data operand.
+                    uop.waiting = 1
+                    self.waiters.setdefault(data_phys, []).append(uop)
+                    uop.done_cycle = 0
+                    return True
+        elif cls is UopClass.BRANCH:
+            uop.poisoned = poisoned
+            if inst.is_conditional_branch:
+                uop.taken = False if poisoned else branch_taken(inst, a, b)
+            else:
+                uop.taken = True
+            if inst.is_call:
+                uop.value = (uop.pc + 1)
+            if not poisoned:
+                uop.actual_next_pc = branch_target(inst, uop.pc, a, uop.taken)
+            done = now + core.latency_branch
+            ev["alu"] = ev.get("alu", 0) + 1
+        elif cls is UopClass.NOP:
+            done = now + 1
+        else:
+            uop.poisoned = poisoned
+            uop.value = 0 if poisoned else alu_result(inst, a, b)
+            latency, event = _ALU_LATENCY[cls]
+            done = now + getattr(core, latency)
+            ev[event] = ev.get(event, 0) + 1
+
+        nsrc = (uop.src1_phys is not None) + (uop.src2_phys is not None)
+        if nsrc:
+            ev["prf_read"] = ev.get("prf_read", 0) + nsrc
+        uop.done_cycle = done
+        heapq.heappush(self.events, (done, uop.seq, uop))
+        return True
+
+    def _execute_load(self, uop: InFlightUop, base: int, now: int) -> int:
+        """Returns the completion cycle, or -1 to defer (disambiguation)."""
+        core = self.config.core
+        addr = mem_address(uop.inst, base)
+        uop.mem_addr = addr
+        uop.addr_known = True
+        result, store = self.store_queue.search(addr >> 3, uop.seq)
+        if result is ForwardResult.WAIT:
+            uop.deferred = True
+            self.deferred_loads.append(uop)
+            return -1
+        t_access = now + core.latency_agu
+        if result is ForwardResult.FORWARD:
+            assert store is not None
+            uop.value = store.store_data
+            uop.poisoned = store.poisoned and self.mode != "normal"
+            uop.forwarded = True
+            return t_access + self.config.l1d.latency
+        in_runahead = self.mode != "normal"
+        if in_runahead and self.config.runahead.runahead_cache_enabled:
+            cached = self.runahead_cache.read(addr)
+            self.ev["runahead_cache"] = self.ev.get("runahead_cache", 0) + 1
+            if cached is not None:
+                uop.value = cached
+                return t_access + self.config.l1d.latency
+        kind = "runahead" if in_runahead else "demand"
+        access = self.hierarchy.load(addr, t_access, kind=kind)
+        if access.level == "RETRY":
+            # All LLC MSHRs busy: re-issue when one frees.  This is the
+            # backpressure that bounds runahead's miss generation.
+            heapq.heappush(self._retries,
+                           (access.done_cycle + 1, uop.seq, uop))
+            return -1
+        uop.level = access.level
+        uop.merged = access.merged
+        uop.value = self.memory.load(addr)
+        if access.level == "DRAM" and not access.merged:
+            uop.miss_issue_retired = self.committed
+        if in_runahead:
+            if access.done_cycle - t_access > self._poison_latency:
+                # The data cannot return within a useful horizon (a fresh
+                # miss, or a merge with an in-flight fill): mark INV and
+                # move on — the prefetch effect is already in flight.
+                uop.poisoned = True
+                self.stats.inv_ops += 1
+                if access.level == "DRAM" and not access.merged:
+                    self.stats.runahead_misses_generated += 1
+                    record = self.ra_policy.current
+                    if record is not None:
+                        record.misses_generated += 1
+                    if self.mode == "rab":
+                        self.stats.runahead_misses_rab += 1
+                    else:
+                        self.stats.runahead_misses_traditional += 1
+                return t_access + self.config.l1d.latency + 1
+        elif (self.tracker is not None and access.level == "DRAM"
+                and not access.merged):
+            self.tracker.classify_demand_miss(uop.seq, uop.producer_seqs)
+        return access.done_cycle
+
+    # ------------------------------------------------------------------
+    # Rename / dispatch
+    # ------------------------------------------------------------------
+
+    def _resources_available(self, inst) -> bool:
+        if len(self.rob) >= self.config.core.rob_size:
+            return False
+        if self.rs_used >= self.config.core.rs_size:
+            return False
+        if inst.dest() is not None and self.rename.free_count() == 0:
+            return False
+        if inst.is_load and self.load_queue_used >= \
+                self.config.core.load_queue_size:
+            return False
+        if inst.is_store and self.store_queue.full():
+            return False
+        return True
+
+    def _rename_dispatch(self, pc: int, inst, fetched: Optional[FetchedUop],
+                         now: int, from_rab: bool) -> InFlightUop:
+        rename = self.rename
+        prf = self.prf
+        uop = InFlightUop(self.seq, pc, inst)
+        self.seq += 1
+        uop.runahead = self.mode != "normal"
+        uop.from_rab = from_rab
+
+        rat = rename.rat
+        src1 = inst.rs1
+        src2 = inst.rs2
+        waiting = 0
+        producers = []
+        if src1 is not None and src1 != 0:
+            phys = rat[src1]
+            uop.src1_phys = phys
+            producers.append(prf.producer_seq[phys])
+            if not prf.ready[phys]:
+                waiting += 1
+                self.waiters.setdefault(phys, []).append(uop)
+        if src2 is not None and src2 != 0:
+            phys = rat[src2]
+            uop.src2_phys = phys
+            producers.append(prf.producer_seq[phys])
+            # STA/STD split: a store's data operand does not gate issue —
+            # the address computes as soon as rs1 is ready; the data is
+            # picked up when it arrives (see _issue / _execute).
+            if not prf.ready[phys] and not inst.is_store:
+                waiting += 1
+                self.waiters.setdefault(phys, []).append(uop)
+        if self.tracker is not None:
+            uop.producer_seqs = tuple(producers)
+
+        dest = inst.dest()
+        if dest is not None:
+            new_phys = rename.alloc()
+            uop.dest_arch = dest
+            uop.dest_phys = new_phys
+            uop.old_phys = rat[dest]
+            rat[dest] = new_phys
+            prf.mark_pending(new_phys, uop.seq)
+
+        if fetched is not None:
+            uop.predicted_next_pc = fetched.predicted_next_pc
+            uop.predicted_taken = fetched.predicted_taken
+            uop.snapshot = fetched.snapshot
+
+        uop.waiting = waiting
+        self.rob.append(uop)
+        if inst.is_load:
+            self.load_queue_used += 1
+        elif inst.is_store:
+            self.store_queue.push(uop)
+        if waiting == 0:
+            self.ready.append(uop)
+        self.rs_used += 1
+        self.dispatched_total += 1
+        self.stats.dispatched_uops += 1
+        ev = self.ev
+        ev["rename"] = ev.get("rename", 0) + 1
+        ev["rs_dispatch"] = ev.get("rs_dispatch", 0) + 1
+        ev["rob_write"] = ev.get("rob_write", 0) + 1
+        return uop
+
+    def _dispatch_from_decode(self, now: int) -> None:
+        queue = self.decode_queue
+        for _ in range(self.width):
+            if not queue or queue[0][0] > now:
+                break
+            fetched = queue[0][1]
+            if not self._resources_available(fetched.inst):
+                break
+            queue.popleft()
+            self._rename_dispatch(fetched.pc, fetched.inst, fetched, now,
+                                  from_rab=False)
+
+    def _dispatch_from_buffer(self, now: int) -> None:
+        rab = self.rab
+        if not rab.active:
+            return
+        ev = self.ev
+        for _ in range(self.width):
+            chain_uop = rab.peek()
+            if not self._resources_available(chain_uop.inst):
+                break
+            pulled = rab.next_uops(1)[0]
+            self._rename_dispatch(pulled.pc, pulled.inst, None, now,
+                                  from_rab=True)
+            ev["rab_read"] = ev.get("rab_read", 0) + 1
+
+    # ------------------------------------------------------------------
+    # Fetch
+    # ------------------------------------------------------------------
+
+    def _fetch_into_decode(self, now: int) -> None:
+        space = self.decode_queue_cap - len(self.decode_queue)
+        if space <= 0:
+            return
+        group = self.fetch.fetch_cycle(now, budget=min(self.width, space))
+        if not group:
+            if self.mode == "normal":
+                self.stats.frontend_idle_cycles += 1
+            return
+        ready_at = now + self.config.core.fetch_to_rename_cycles
+        ev = self.ev
+        n = len(group)
+        ev["fetch"] = ev.get("fetch", 0) + n
+        ev["decode"] = ev.get("decode", 0) + n
+        self.stats.fetched_uops += n
+        for fetched in group:
+            self.decode_queue.append((ready_at, fetched))
+
+    # ------------------------------------------------------------------
+    # Final statistics
+    # ------------------------------------------------------------------
+
+    def _finalize_stats(self) -> SimStats:
+        s = self.stats
+        s.cycles = self.now
+        s.committed_insts = self.committed
+        s.config_name = s.config_name or self.config.runahead.mode.value
+        # Branch predictor.
+        s.cond_mispredicts = self.predictor.stats.cond_mispredicts
+        if not s.cond_branches:
+            s.cond_branches = self.predictor.stats.cond_predictions
+        # Caches.
+        h = self.hierarchy
+        s.l1d_accesses = h.l1d.stats.accesses
+        s.l1d_misses = h.l1d.stats.misses
+        s.l1i_accesses = h.l1i.stats.accesses
+        s.llc_accesses = h.llc.stats.accesses
+        s.llc_hits = h.llc.stats.hits
+        s.llc_demand_misses = h.demand_llc_misses()
+        s.llc_misses_by_kind = dict(h.llc_misses)
+        # DRAM.
+        d = h.controller.stats
+        s.dram_reads = d.reads
+        s.dram_writes = d.writes
+        s.dram_row_hits = d.row_hits
+        s.dram_row_conflicts = d.row_conflicts
+        s.dram_activates = d.activates
+        s.dram_by_kind = dict(d.by_kind)
+        # Prefetcher.
+        if h.prefetcher is not None:
+            s.prefetches_issued = h.prefetcher.stats.issued
+            s.prefetches_useful = h.prefetcher.stats.useful
+        # Runahead.
+        policy = self.ra_policy
+        s.runahead_intervals = policy.interval_count()
+        s.entries_blocked_enh = (
+            policy.entries_blocked_short + policy.entries_blocked_overlap
+        )
+        s.entries_blocked_no_chain = policy.entries_blocked_no_chain
+        s.rab_iterations = self.rab.iterations_started
+        if self.chain_cache is not None:
+            s.chain_cache_hits = self.chain_cache.hits
+            s.chain_cache_misses = self.chain_cache.misses
+        s.chain_cache_checked_hits = policy.cc_hits_checked
+        s.chain_cache_exact_hits = policy.cc_hits_exact
+        # Energy events: core-side counters plus memory-side structures.
+        events = dict(self.ev)
+        events["l1d_access"] = s.l1d_accesses
+        events["l1i_access"] = s.l1i_accesses
+        events["llc_access"] = s.llc_accesses + h.llc.stats.fill_hits
+        events["dram_access"] = s.dram_reads + s.dram_writes
+        events["dram_activate"] = s.dram_activates
+        s.energy_events = events
+        return s
+
+
+# (latency attribute on CoreConfig, energy event name) per ALU class.
+_ALU_LATENCY = {
+    UopClass.IALU: ("latency_ialu", "alu"),
+    UopClass.IMUL: ("latency_imul", "mul"),
+    UopClass.IDIV: ("latency_idiv", "div"),
+    UopClass.FADD: ("latency_fadd", "fpu"),
+    UopClass.FMUL: ("latency_fmul", "fpu"),
+    UopClass.FDIV: ("latency_fdiv", "fpu"),
+}

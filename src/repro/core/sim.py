@@ -1,0 +1,69 @@
+"""High-level simulation runner: workload -> processor -> stats + energy.
+
+This is the main entry point of the public API::
+
+    from repro import simulate, make_config, RunaheadMode
+    result = simulate("mcf", make_config(RunaheadMode.BUFFER_CHAIN_CACHE),
+                      max_instructions=20_000)
+    print(result.stats.ipc, result.energy.total)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..config import SystemConfig, default_system
+from ..energy import EnergyModel, EnergyReport
+from ..isa import Program
+from .processor import Processor
+from .stats import SimStats
+
+
+@dataclass
+class SimulationResult:
+    """Everything one run produces."""
+
+    stats: SimStats
+    energy: EnergyReport
+    processor: Processor
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+
+def _resolve_workload(workload) -> tuple[Program, object, Optional[list[int]]]:
+    """Accept a workload name, a Workload object, or a bare Program."""
+    if isinstance(workload, str):
+        from ..workloads import build_workload
+        built = build_workload(workload)
+        return built.program, built.memory, built.init_regs
+    if isinstance(workload, Program):
+        return workload, None, None
+    # Duck-typed Workload (program/memory/init_regs attributes).
+    return workload.program, workload.memory, getattr(workload, "init_regs",
+                                                      None)
+
+
+def simulate(
+    workload: Union[str, Program, object],
+    config: Optional[SystemConfig] = None,
+    max_instructions: int = 20_000,
+    warmup_instructions: int = 12_000,
+    max_cycles: Optional[int] = None,
+    config_name: str = "",
+) -> SimulationResult:
+    """Run one workload on one configuration and return stats + energy."""
+    if config is None:
+        config = default_system()
+    program, memory, init_regs = _resolve_workload(workload)
+    processor = Processor(program, config, memory=memory, init_regs=init_regs)
+    if warmup_instructions > 0:
+        processor.warm_up(warmup_instructions)
+    stats = processor.run(max_instructions, max_cycles=max_cycles)
+    stats.config_name = config_name or stats.config_name
+    model = EnergyModel(config.energy, config.core.clock_ghz)
+    energy = model.compute(stats.energy_events, stats.cycles)
+    stats.energy_report = energy.to_dict()
+    return SimulationResult(stats=stats, energy=energy, processor=processor)

@@ -1,0 +1,212 @@
+"""Simulation statistics: every counter the paper's figures need.
+
+A :class:`SimStats` is assembled by the processor at the end of a run.
+All fields are plain numbers/dicts so results serialize to JSON for the
+experiment cache (``repro.analysis.experiments``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ChainAnalysis:
+    """Dependence-chain analytics (Figs 2-5, 13)."""
+
+    # Fig. 2: demand misses whose address slice avoids other misses.
+    misses_source_onchip: int = 0
+    misses_source_offchip: int = 0
+    # Fig. 3: ops executed in traditional runahead vs ops on miss chains.
+    runahead_ops_executed: int = 0
+    runahead_ops_on_chains: int = 0
+    # Fig. 4: chain repetition within an interval.
+    unique_chains: int = 0
+    repeated_chains: int = 0
+    # Fig. 5: chain length distribution.
+    chain_length_sum: int = 0
+    chain_count: int = 0
+
+    @property
+    def source_onchip_fraction(self) -> float:
+        total = self.misses_source_onchip + self.misses_source_offchip
+        return self.misses_source_onchip / total if total else 1.0
+
+    @property
+    def chain_op_fraction(self) -> float:
+        if not self.runahead_ops_executed:
+            return 0.0
+        return self.runahead_ops_on_chains / self.runahead_ops_executed
+
+    @property
+    def repeated_fraction(self) -> float:
+        total = self.unique_chains + self.repeated_chains
+        return self.repeated_chains / total if total else 0.0
+
+    @property
+    def mean_chain_length(self) -> float:
+        if not self.chain_count:
+            return 0.0
+        return self.chain_length_sum / self.chain_count
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "misses_source_onchip": self.misses_source_onchip,
+            "misses_source_offchip": self.misses_source_offchip,
+            "runahead_ops_executed": self.runahead_ops_executed,
+            "runahead_ops_on_chains": self.runahead_ops_on_chains,
+            "unique_chains": self.unique_chains,
+            "repeated_chains": self.repeated_chains,
+            "chain_length_sum": self.chain_length_sum,
+            "chain_count": self.chain_count,
+            "source_onchip_fraction": self.source_onchip_fraction,
+            "chain_op_fraction": self.chain_op_fraction,
+            "repeated_fraction": self.repeated_fraction,
+            "mean_chain_length": self.mean_chain_length,
+        }
+
+
+@dataclass
+class SimStats:
+    """Full results of one simulation."""
+
+    workload: str = ""
+    config_name: str = ""
+    # Core progress.
+    cycles: int = 0
+    committed_insts: int = 0
+    fetched_uops: int = 0
+    dispatched_uops: int = 0
+    issued_uops: int = 0
+    squashed_uops: int = 0
+    # Stall / mode accounting.
+    memstall_cycles: int = 0
+    frontend_idle_cycles: int = 0       # front-end fetched nothing / gated
+    cycles_in_traditional: int = 0
+    cycles_in_rab: int = 0
+    chain_gen_cycles: int = 0
+    # Branches.
+    cond_branches: int = 0
+    cond_mispredicts: int = 0
+    # Caches.
+    l1d_accesses: int = 0
+    l1d_misses: int = 0
+    l1i_accesses: int = 0
+    llc_accesses: int = 0
+    llc_hits: int = 0
+    llc_demand_misses: int = 0
+    llc_misses_by_kind: dict[str, int] = field(default_factory=dict)
+    # DRAM.
+    dram_reads: int = 0
+    dram_writes: int = 0
+    dram_row_hits: int = 0
+    dram_row_conflicts: int = 0
+    dram_activates: int = 0
+    dram_by_kind: dict[str, int] = field(default_factory=dict)
+    # Prefetcher.
+    prefetches_issued: int = 0
+    prefetches_useful: int = 0
+    # Runahead.
+    runahead_intervals: int = 0
+    rab_intervals: int = 0
+    traditional_intervals: int = 0
+    runahead_pseudo_retired: int = 0
+    runahead_misses_generated: int = 0
+    runahead_misses_traditional: int = 0
+    runahead_misses_rab: int = 0
+    inv_ops: int = 0                    # poisoned uops during runahead
+    chain_generations: int = 0
+    chain_cache_hits: int = 0
+    chain_cache_misses: int = 0
+    chain_cache_exact_hits: int = 0
+    chain_cache_checked_hits: int = 0
+    entries_blocked_enh: int = 0
+    entries_blocked_no_chain: int = 0
+    rab_iterations: int = 0
+    # Energy event counts (pJ weights applied by repro.energy).
+    energy_events: dict[str, int] = field(default_factory=dict)
+    energy_report: dict[str, float] = field(default_factory=dict)
+    # Chain analytics.
+    chains: ChainAnalysis = field(default_factory=ChainAnalysis)
+
+    # -- derived metrics ----------------------------------------------------------
+
+    @property
+    def ipc(self) -> float:
+        return self.committed_insts / self.cycles if self.cycles else 0.0
+
+    @property
+    def mpki(self) -> float:
+        if not self.committed_insts:
+            return 0.0
+        return 1000.0 * self.llc_demand_misses / self.committed_insts
+
+    @property
+    def memstall_fraction(self) -> float:
+        return self.memstall_cycles / self.cycles if self.cycles else 0.0
+
+    @property
+    def dram_requests(self) -> int:
+        return self.dram_reads + self.dram_writes
+
+    @property
+    def branch_accuracy(self) -> float:
+        if not self.cond_branches:
+            return 1.0
+        return 1.0 - self.cond_mispredicts / self.cond_branches
+
+    @property
+    def rab_cycle_fraction(self) -> float:
+        return self.cycles_in_rab / self.cycles if self.cycles else 0.0
+
+    @property
+    def runahead_cycle_fraction(self) -> float:
+        if not self.cycles:
+            return 0.0
+        return (self.cycles_in_rab + self.cycles_in_traditional) / self.cycles
+
+    @property
+    def hybrid_rab_share(self) -> float:
+        """Fraction of runahead cycles spent in buffer mode (Fig. 14)."""
+        total = self.cycles_in_rab + self.cycles_in_traditional
+        return self.cycles_in_rab / total if total else 0.0
+
+    @property
+    def chain_cache_hit_rate(self) -> float:
+        total = self.chain_cache_hits + self.chain_cache_misses
+        return self.chain_cache_hits / total if total else 0.0
+
+    @property
+    def chain_cache_exact_fraction(self) -> float:
+        if not self.chain_cache_checked_hits:
+            return 0.0
+        return self.chain_cache_exact_hits / self.chain_cache_checked_hits
+
+    @property
+    def misses_per_interval(self) -> float:
+        total = self.runahead_intervals
+        return self.runahead_misses_generated / total if total else 0.0
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.energy_report.get("total", 0.0)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable dump, including derived metrics."""
+        out: dict[str, Any] = {}
+        for name in self.__dataclass_fields__:
+            value = getattr(self, name)
+            if name == "chains":
+                out[name] = value.to_dict()
+            else:
+                out[name] = value
+        for derived in (
+            "ipc", "mpki", "memstall_fraction", "dram_requests",
+            "branch_accuracy", "rab_cycle_fraction",
+            "runahead_cycle_fraction", "hybrid_rab_share",
+            "chain_cache_hit_rate", "chain_cache_exact_fraction",
+            "misses_per_interval", "total_energy_j",
+        ):
+            out[derived] = getattr(self, derived)
+        return out

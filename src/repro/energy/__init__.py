@@ -1,0 +1,21 @@
+"""Energy modelling: event-energy accounting with leakage and DRAM power."""
+
+from .model import (
+    BACKEND_EVENTS,
+    CACHE_EVENTS,
+    DRAM_EVENTS,
+    FRONTEND_EVENTS,
+    RUNAHEAD_EVENTS,
+    EnergyModel,
+    EnergyReport,
+)
+
+__all__ = [
+    "BACKEND_EVENTS",
+    "CACHE_EVENTS",
+    "DRAM_EVENTS",
+    "EnergyModel",
+    "EnergyReport",
+    "FRONTEND_EVENTS",
+    "RUNAHEAD_EVENTS",
+]

@@ -1,0 +1,122 @@
+"""Fetch unit: supplies up to ``width`` predicted-path uops per cycle.
+
+Follows the branch predictor through the static program, producing
+:class:`FetchedUop` records (instruction + prediction + predictor
+snapshot).  Fetch naturally goes down the wrong path after a
+misprediction — it decodes the real instructions at the predicted target —
+until the core redirects it.  Instruction-cache timing is modelled per
+line (4-byte instruction slots, 16 per 64-byte line).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import CoreConfig
+from ..isa import Program
+from ..memory import MemoryHierarchy
+from .branch_predictor import BranchPredictor, PredictorSnapshot
+
+INST_BYTES = 4
+
+
+class FetchedUop:
+    """One fetched micro-op plus its control-flow prediction."""
+
+    __slots__ = ("pc", "inst", "predicted_next_pc", "predicted_taken",
+                 "snapshot")
+
+    def __init__(self, pc: int, inst, predicted_next_pc: int,
+                 predicted_taken: bool, snapshot: Optional[PredictorSnapshot]
+                 ) -> None:
+        self.pc = pc
+        self.inst = inst
+        self.predicted_next_pc = predicted_next_pc
+        self.predicted_taken = predicted_taken
+        self.snapshot = snapshot
+
+
+class FetchUnit:
+    """The fetch stage.  The core drives :meth:`fetch_cycle` once per cycle
+    (when not clock-gated) and :meth:`redirect` on mispredicts/flushes."""
+
+    def __init__(self, program: Program, predictor: BranchPredictor,
+                 hierarchy: MemoryHierarchy, config: CoreConfig) -> None:
+        self.program = program
+        self.predictor = predictor
+        self.hierarchy = hierarchy
+        self.width = config.width
+        self.pc = program.entry
+        self.stalled_until = 0       # I-cache miss / redirect penalty
+        self.wait_for_redirect = False  # unknown indirect target
+        self.halted = False
+        self.fetched_uops = 0
+        self._line_ready: dict[int, int] = {}
+
+    def redirect(self, pc: int, at_cycle: int) -> None:
+        """Steer fetch to ``pc``; fetch resumes at ``at_cycle``."""
+        self.pc = pc
+        self.stalled_until = max(self.stalled_until, at_cycle)
+        self.wait_for_redirect = False
+        self.halted = False
+
+    def flush(self) -> None:
+        """Drop any transient fetch state (used on mode transitions)."""
+        self.wait_for_redirect = False
+        self._line_ready.clear()
+
+    def _icache_ready(self, pc: int, now: int) -> int:
+        """Cycle at which the line containing ``pc`` can feed decode.
+
+        The L1I hit latency is pipelined (hidden by the front-end depth),
+        so a hit is available immediately; only LLC/DRAM instruction
+        misses stall fetch."""
+        addr = pc * INST_BYTES
+        line = self.hierarchy.line_of(addr)
+        ready = self._line_ready.get(line)
+        if ready is None:
+            done = self.hierarchy.ifetch(addr, now)
+            ready = now if done - now <= self.hierarchy.l1i.latency else done
+            self._line_ready[line] = ready
+            if len(self._line_ready) > 64:
+                self._line_ready.pop(next(iter(self._line_ready)))
+        return ready
+
+    def fetch_cycle(self, now: int, budget: Optional[int] = None
+                    ) -> list[FetchedUop]:
+        """Fetch up to ``budget`` (default: width) uops along the predicted
+        path.  A predicted-taken branch ends the fetch group."""
+        if self.halted or self.wait_for_redirect or now < self.stalled_until:
+            return []
+        if budget is None:
+            budget = self.width
+        group: list[FetchedUop] = []
+        while len(group) < budget:
+            pc = self.pc
+            ready = self._icache_ready(pc, now)
+            if ready > now:
+                self.stalled_until = ready
+                break
+            inst = self.program.fetch(pc)
+            if inst.is_halt:
+                self.halted = True
+                group.append(FetchedUop(pc, inst, pc + 1, False, None))
+                break
+            if inst.is_branch:
+                snapshot = self.predictor.snapshot()
+                taken, target = self.predictor.predict(pc, inst)
+                if target is None:
+                    # Indirect branch with no BTB target: fetch must wait
+                    # for the branch to resolve.
+                    self.wait_for_redirect = True
+                    group.append(FetchedUop(pc, inst, -1, taken, snapshot))
+                    break
+                group.append(FetchedUop(pc, inst, target, taken, snapshot))
+                self.pc = target
+                if taken:
+                    break
+            else:
+                group.append(FetchedUop(pc, inst, pc + 1, False, None))
+                self.pc = pc + 1
+        self.fetched_uops += len(group)
+        return group

@@ -1,0 +1,54 @@
+"""Mini micro-op ISA: instructions, programs, functional semantics.
+
+This is the substrate the paper's x86 front-end provided: a decoded
+micro-op stream with full functional semantics, so runahead modes execute
+real code and compute real addresses.
+"""
+
+from .interpreter import Interpreter, RetiredOp
+from .program import Program, ProgramBuilder
+from .registers import LINK_REG, NUM_ARCH_REGS, ZERO_REG, reg_index, reg_name
+from .semantics import (
+    MASK64,
+    DataMemory,
+    alu_result,
+    branch_taken,
+    branch_target,
+    mem_address,
+    to_signed,
+    to_unsigned,
+)
+from .uop import (
+    CONDITIONAL_BRANCHES,
+    INDIRECT_BRANCHES,
+    UNCONDITIONAL_BRANCHES,
+    Instruction,
+    Opcode,
+    UopClass,
+)
+
+__all__ = [
+    "CONDITIONAL_BRANCHES",
+    "INDIRECT_BRANCHES",
+    "UNCONDITIONAL_BRANCHES",
+    "DataMemory",
+    "Instruction",
+    "Interpreter",
+    "LINK_REG",
+    "MASK64",
+    "NUM_ARCH_REGS",
+    "Opcode",
+    "Program",
+    "ProgramBuilder",
+    "RetiredOp",
+    "UopClass",
+    "ZERO_REG",
+    "alu_result",
+    "branch_taken",
+    "branch_target",
+    "mem_address",
+    "reg_index",
+    "reg_name",
+    "to_signed",
+    "to_unsigned",
+]

@@ -1,0 +1,121 @@
+"""Reference functional interpreter for the mini ISA.
+
+Used by tests (golden model for the out-of-order core's architectural
+results) and by the warm-up phase (fast functional execution that feeds
+caches and branch predictors without cycle-level timing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from .program import Program
+from .registers import NUM_ARCH_REGS
+from .semantics import (
+    DataMemory,
+    alu_result,
+    branch_taken,
+    branch_target,
+    mem_address,
+)
+from .uop import Instruction, Opcode, UopClass
+
+
+@dataclass(frozen=True)
+class RetiredOp:
+    """One architecturally executed instruction, as observed by warm-up/tests."""
+
+    seq: int
+    pc: int
+    inst: Instruction
+    next_pc: int
+    dest_value: Optional[int] = None
+    mem_addr: Optional[int] = None
+    taken: Optional[bool] = None
+
+
+class Interpreter:
+    """In-order functional executor of a :class:`Program`."""
+
+    def __init__(
+        self,
+        program: Program,
+        memory: Optional[DataMemory] = None,
+        regs: Optional[list[int]] = None,
+    ) -> None:
+        self.program = program
+        self.memory = memory if memory is not None else DataMemory()
+        if regs is None:
+            regs = [0] * NUM_ARCH_REGS
+        if len(regs) != NUM_ARCH_REGS:
+            raise ValueError("regs must have NUM_ARCH_REGS entries")
+        self.regs = list(regs)
+        self.regs[0] = 0
+        self.pc = program.entry
+        self.halted = False
+        self.retired = 0
+
+    def read_reg(self, index: int) -> int:
+        return 0 if index == 0 else self.regs[index]
+
+    def write_reg(self, index: Optional[int], value: int) -> None:
+        if index is not None and index != 0:
+            self.regs[index] = value
+
+    def step(self) -> RetiredOp:
+        """Execute one instruction and return what happened."""
+        if self.halted:
+            raise RuntimeError("interpreter is halted")
+        pc = self.pc
+        inst = self.program.fetch(pc)
+        a = self.read_reg(inst.rs1) if inst.rs1 is not None else 0
+        b = self.read_reg(inst.rs2) if inst.rs2 is not None else 0
+
+        dest_value: Optional[int] = None
+        addr: Optional[int] = None
+        taken: Optional[bool] = None
+        next_pc = pc + 1
+
+        cls = inst.uop_class
+        if cls is UopClass.LOAD:
+            addr = mem_address(inst, a)
+            dest_value = self.memory.load(addr)
+            self.write_reg(inst.rd, dest_value)
+        elif cls is UopClass.STORE:
+            addr = mem_address(inst, a)
+            self.memory.store(addr, b)
+        elif cls is UopClass.BRANCH:
+            if inst.is_conditional_branch:
+                taken = branch_taken(inst, a, b)
+            else:
+                taken = True
+            if inst.is_call:
+                dest_value = (pc + 1) & ((1 << 64) - 1)
+                self.write_reg(inst.rd, dest_value)
+            next_pc = branch_target(inst, pc, a, taken)
+        elif inst.opcode is Opcode.HALT:
+            self.halted = True
+        elif inst.opcode is not Opcode.NOP:
+            dest_value = alu_result(inst, a, b)
+            self.write_reg(inst.rd, dest_value)
+
+        self.pc = next_pc
+        seq = self.retired
+        self.retired += 1
+        return RetiredOp(
+            seq=seq,
+            pc=pc,
+            inst=inst,
+            next_pc=next_pc,
+            dest_value=dest_value,
+            mem_addr=addr,
+            taken=taken,
+        )
+
+    def run(self, max_instructions: int) -> Iterator[RetiredOp]:
+        """Yield up to ``max_instructions`` retired ops (stops at HALT)."""
+        for _ in range(max_instructions):
+            if self.halted:
+                return
+            yield self.step()

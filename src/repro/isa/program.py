@@ -1,0 +1,209 @@
+"""Static programs and the label-based mini assembler.
+
+Workload kernels are built with :class:`ProgramBuilder`, which provides one
+method per opcode plus labels for control flow, and produce an immutable
+:class:`Program`.  PCs are instruction indices (the fetch unit converts them
+to byte addresses for the I-cache).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .registers import reg_index
+from .uop import Instruction, Opcode
+
+
+class Program:
+    """An immutable sequence of instructions plus an entry PC."""
+
+    def __init__(
+        self,
+        instructions: Iterable[Instruction],
+        entry: int = 0,
+        name: str = "program",
+    ) -> None:
+        self.instructions: tuple[Instruction, ...] = tuple(instructions)
+        if not self.instructions:
+            raise ValueError("a program needs at least one instruction")
+        if not 0 <= entry < len(self.instructions):
+            raise ValueError(f"entry PC {entry} out of range")
+        self.entry = entry
+        self.name = name
+        self._nop = Instruction(Opcode.NOP)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def fetch(self, pc: int) -> Instruction:
+        """Instruction at ``pc``; out-of-range PCs (wrong-path fetch after a
+        corrupted indirect target) decode as NOPs rather than faulting."""
+        if 0 <= pc < len(self.instructions):
+            return self.instructions[pc]
+        return self._nop
+
+    def in_range(self, pc: int) -> bool:
+        return 0 <= pc < len(self.instructions)
+
+
+class ProgramBuilder:
+    """Tiny assembler: emits instructions, resolves labels at ``build()``.
+
+    Register operands accept names (``"R4"``) or indices.  Branch targets
+    are label strings or absolute integer PCs.
+    """
+
+    def __init__(self) -> None:
+        self._instructions: list[Instruction] = []
+        self._labels: dict[str, int] = {}
+        self._fixups: list[tuple[int, str]] = []
+
+    # -- structure ---------------------------------------------------------
+
+    def label(self, name: str) -> None:
+        if name in self._labels:
+            raise ValueError(f"duplicate label: {name}")
+        self._labels[name] = len(self._instructions)
+
+    def pc(self) -> int:
+        """PC of the next instruction to be emitted."""
+        return len(self._instructions)
+
+    def _emit(self, inst: Instruction, target: Optional[str | int]) -> None:
+        if isinstance(target, str):
+            self._fixups.append((len(self._instructions), target))
+        elif target is not None:
+            inst.target = int(target)
+        self._instructions.append(inst)
+
+    # -- memory ------------------------------------------------------------
+
+    def load(self, rd, base, offset: int = 0) -> None:
+        self._emit(
+            Instruction(Opcode.LD, rd=reg_index(rd), rs1=reg_index(base), imm=offset),
+            None,
+        )
+
+    def store(self, src, base, offset: int = 0) -> None:
+        self._emit(
+            Instruction(
+                Opcode.ST, rs1=reg_index(base), rs2=reg_index(src), imm=offset
+            ),
+            None,
+        )
+
+    # -- ALU -----------------------------------------------------------------
+
+    def _alu3(self, opcode: Opcode, rd, rs1, rs2) -> None:
+        self._emit(
+            Instruction(
+                opcode, rd=reg_index(rd), rs1=reg_index(rs1), rs2=reg_index(rs2)
+            ),
+            None,
+        )
+
+    def add(self, rd, rs1, rs2) -> None:
+        self._alu3(Opcode.ADD, rd, rs1, rs2)
+
+    def sub(self, rd, rs1, rs2) -> None:
+        self._alu3(Opcode.SUB, rd, rs1, rs2)
+
+    def and_(self, rd, rs1, rs2) -> None:
+        self._alu3(Opcode.AND, rd, rs1, rs2)
+
+    def or_(self, rd, rs1, rs2) -> None:
+        self._alu3(Opcode.OR, rd, rs1, rs2)
+
+    def xor(self, rd, rs1, rs2) -> None:
+        self._alu3(Opcode.XOR, rd, rs1, rs2)
+
+    def shl(self, rd, rs1, rs2) -> None:
+        self._alu3(Opcode.SHL, rd, rs1, rs2)
+
+    def shr(self, rd, rs1, rs2) -> None:
+        self._alu3(Opcode.SHR, rd, rs1, rs2)
+
+    def mul(self, rd, rs1, rs2) -> None:
+        self._alu3(Opcode.MUL, rd, rs1, rs2)
+
+    def div(self, rd, rs1, rs2) -> None:
+        self._alu3(Opcode.DIV, rd, rs1, rs2)
+
+    def fadd(self, rd, rs1, rs2) -> None:
+        self._alu3(Opcode.FADD, rd, rs1, rs2)
+
+    def fmul(self, rd, rs1, rs2) -> None:
+        self._alu3(Opcode.FMUL, rd, rs1, rs2)
+
+    def fdiv(self, rd, rs1, rs2) -> None:
+        self._alu3(Opcode.FDIV, rd, rs1, rs2)
+
+    def addi(self, rd, rs1, imm: int) -> None:
+        self._emit(
+            Instruction(Opcode.ADDI, rd=reg_index(rd), rs1=reg_index(rs1), imm=imm),
+            None,
+        )
+
+    def andi(self, rd, rs1, imm: int) -> None:
+        self._emit(
+            Instruction(Opcode.ANDI, rd=reg_index(rd), rs1=reg_index(rs1), imm=imm),
+            None,
+        )
+
+    def mov(self, rd, rs1) -> None:
+        self._emit(
+            Instruction(Opcode.MOV, rd=reg_index(rd), rs1=reg_index(rs1)), None
+        )
+
+    def li(self, rd, imm: int) -> None:
+        self._emit(Instruction(Opcode.LI, rd=reg_index(rd), imm=imm), None)
+
+    # -- control flow --------------------------------------------------------
+
+    def _branch(self, opcode: Opcode, rs1, rs2, target: str | int) -> None:
+        self._emit(
+            Instruction(opcode, rs1=reg_index(rs1), rs2=reg_index(rs2)), target
+        )
+
+    def beq(self, rs1, rs2, target: str | int) -> None:
+        self._branch(Opcode.BEQ, rs1, rs2, target)
+
+    def bne(self, rs1, rs2, target: str | int) -> None:
+        self._branch(Opcode.BNE, rs1, rs2, target)
+
+    def blt(self, rs1, rs2, target: str | int) -> None:
+        self._branch(Opcode.BLT, rs1, rs2, target)
+
+    def bge(self, rs1, rs2, target: str | int) -> None:
+        self._branch(Opcode.BGE, rs1, rs2, target)
+
+    def jmp(self, target: str | int) -> None:
+        self._emit(Instruction(Opcode.JMP), target)
+
+    def jr(self, rs1) -> None:
+        self._emit(Instruction(Opcode.JR, rs1=reg_index(rs1)), None)
+
+    def call(self, target: str | int) -> None:
+        self._emit(Instruction(Opcode.CALL, rd=reg_index("R31")), target)
+
+    def ret(self) -> None:
+        self._emit(Instruction(Opcode.RET, rs1=reg_index("R31")), None)
+
+    def nop(self) -> None:
+        self._emit(Instruction(Opcode.NOP), None)
+
+    def halt(self) -> None:
+        self._emit(Instruction(Opcode.HALT), None)
+
+    # -- finalize --------------------------------------------------------------
+
+    def build(self, entry: int | str = 0, name: str = "program") -> Program:
+        for index, label in self._fixups:
+            if label not in self._labels:
+                raise ValueError(f"undefined label: {label}")
+            self._instructions[index].target = self._labels[label]
+        if isinstance(entry, str):
+            if entry not in self._labels:
+                raise ValueError(f"undefined entry label: {entry}")
+            entry = self._labels[entry]
+        return Program(self._instructions, entry=entry, name=name)

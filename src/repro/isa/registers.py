@@ -1,0 +1,41 @@
+"""Architectural register file definition for the mini ISA.
+
+The simulated machine has 32 general-purpose architectural registers,
+``R0``-``R31``.  ``R0`` is hardwired to zero (reads return 0, writes are
+discarded), which gives workload kernels a free constant and mirrors the
+RISC convention.  ``R31`` is the link register written by ``CALL``.
+"""
+
+from __future__ import annotations
+
+NUM_ARCH_REGS = 32
+
+ZERO_REG = 0
+LINK_REG = 31
+
+REG_NAMES = tuple(f"R{i}" for i in range(NUM_ARCH_REGS))
+
+_NAME_TO_INDEX = {name: i for i, name in enumerate(REG_NAMES)}
+
+
+def reg_index(reg: int | str) -> int:
+    """Normalize a register reference (``"R5"`` or ``5``) to its index.
+
+    Raises ``ValueError`` for out-of-range indices or unknown names.
+    """
+    if isinstance(reg, str):
+        try:
+            return _NAME_TO_INDEX[reg.upper()]
+        except KeyError:
+            raise ValueError(f"unknown register name: {reg!r}") from None
+    index = int(reg)
+    if not 0 <= index < NUM_ARCH_REGS:
+        raise ValueError(f"register index out of range: {index}")
+    return index
+
+
+def reg_name(index: int) -> str:
+    """Return the canonical name (``"R5"``) for a register index."""
+    if not 0 <= index < NUM_ARCH_REGS:
+        raise ValueError(f"register index out of range: {index}")
+    return REG_NAMES[index]

@@ -1,0 +1,152 @@
+"""Functional semantics of the mini ISA.
+
+The timing simulator is execution-driven: every micro-op computes a real
+value so that runahead execution (and the runahead buffer's looped
+dependence chains) generates *real* memory addresses.  All integer values
+are 64-bit two's-complement, represented as Python ints in
+``[0, 2**64)``; comparisons interpret them as signed.
+"""
+
+from __future__ import annotations
+
+from .uop import Instruction, Opcode
+
+MASK64 = (1 << 64) - 1
+SIGN_BIT = 1 << 63
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 64-bit unsigned value as signed."""
+    value &= MASK64
+    return value - (1 << 64) if value & SIGN_BIT else value
+
+
+def to_unsigned(value: int) -> int:
+    """Wrap a Python int to 64-bit unsigned representation."""
+    return value & MASK64
+
+
+def alu_result(inst: Instruction, a: int, b: int) -> int:
+    """Compute the result of a non-memory, non-branch micro-op.
+
+    ``a`` and ``b`` are the values of ``rs1`` and ``rs2`` (0 when unused).
+    FP opcodes are evaluated with integer arithmetic — only their latency
+    class differs; workload semantics never depend on FP rounding.
+    """
+    op = inst.opcode
+    if op is Opcode.ADD or op is Opcode.FADD:
+        return (a + b) & MASK64
+    if op is Opcode.SUB:
+        return (a - b) & MASK64
+    if op is Opcode.AND:
+        return a & b
+    if op is Opcode.OR:
+        return a | b
+    if op is Opcode.XOR:
+        return a ^ b
+    if op is Opcode.SHL:
+        return (a << (b & 63)) & MASK64
+    if op is Opcode.SHR:
+        return (a >> (b & 63)) & MASK64
+    if op is Opcode.ADDI:
+        return (a + inst.imm) & MASK64
+    if op is Opcode.ANDI:
+        return a & inst.imm & MASK64
+    if op is Opcode.MOV:
+        return a
+    if op is Opcode.LI:
+        return inst.imm & MASK64
+    if op is Opcode.MUL or op is Opcode.FMUL:
+        return (a * b) & MASK64
+    if op is Opcode.DIV or op is Opcode.FDIV:
+        if b == 0:
+            return 0
+        return (to_signed(a) // to_signed(b)) & MASK64
+    if op is Opcode.NOP or op is Opcode.HALT:
+        return 0
+    raise ValueError(f"not an ALU opcode: {op}")
+
+
+def mem_address(inst: Instruction, base: int) -> int:
+    """Effective address of a load/store: ``rs1 + imm``, wrapped to 64 bits."""
+    return (base + inst.imm) & MASK64
+
+
+def branch_taken(inst: Instruction, a: int, b: int) -> bool:
+    """Resolve a conditional branch from its source values."""
+    op = inst.opcode
+    if op is Opcode.BEQ:
+        return a == b
+    if op is Opcode.BNE:
+        return a != b
+    if op is Opcode.BLT:
+        return to_signed(a) < to_signed(b)
+    if op is Opcode.BGE:
+        return to_signed(a) >= to_signed(b)
+    raise ValueError(f"not a conditional branch: {op}")
+
+
+def branch_target(inst: Instruction, pc: int, a: int, taken: bool) -> int:
+    """Next PC after a control-flow micro-op.
+
+    ``a`` is the value of ``rs1`` (used by indirect branches); falls
+    through to ``pc + 1`` for a not-taken conditional branch.
+    """
+    op = inst.opcode
+    if op in (Opcode.JMP, Opcode.CALL):
+        assert inst.target is not None
+        return inst.target
+    if op in (Opcode.JR, Opcode.RET):
+        return a & MASK64
+    if inst.is_conditional_branch:
+        if taken:
+            assert inst.target is not None
+            return inst.target
+        return pc + 1
+    raise ValueError(f"not a branch opcode: {op}")
+
+
+class DataMemory:
+    """Sparse functional data memory, 8-byte word granularity.
+
+    Addresses are byte addresses; accesses are aligned down to 8 bytes
+    (the mini ISA only does word accesses).  Unwritten locations read as a
+    deterministic pseudo-random value derived from the address, so that
+    workloads touching uninitialised memory stay deterministic without the
+    generator having to initialise every byte of a multi-megabyte array.
+    """
+
+    __slots__ = ("_words", "default_fill")
+
+    def __init__(self, default_fill: str = "hash") -> None:
+        self._words: dict[int, int] = {}
+        if default_fill not in ("hash", "zero"):
+            raise ValueError("default_fill must be 'hash' or 'zero'")
+        self.default_fill = default_fill
+
+    @staticmethod
+    def _key(addr: int) -> int:
+        return (addr & MASK64) >> 3
+
+    def load(self, addr: int) -> int:
+        key = self._key(addr)
+        try:
+            return self._words[key]
+        except KeyError:
+            if self.default_fill == "zero":
+                return 0
+            # splitmix64-style hash of the word index: deterministic junk.
+            z = (key + 0x9E3779B97F4A7C15) & MASK64
+            z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
+            z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & MASK64
+            return z ^ (z >> 31)
+
+    def store(self, addr: int, value: int) -> None:
+        self._words[self._key(addr)] = value & MASK64
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def snapshot(self) -> dict[int, int]:
+        """Copy of the backing store (word-index keyed); for tests."""
+        return dict(self._words)

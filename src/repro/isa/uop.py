@@ -1,0 +1,206 @@
+"""Micro-op definitions for the mini ISA.
+
+The simulator decodes one :class:`Instruction` into one micro-op (the paper's
+x86 front-end cracks instructions into uops; our RISC-like ISA is already at
+uop granularity, so decode is 1:1 — documented as a fidelity trade-off in
+DESIGN.md).  Static instructions live in a :class:`~repro.isa.program.Program`
+and are indexed by PC.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+
+class Opcode(enum.Enum):
+    """Static opcodes of the mini ISA."""
+
+    # Memory.
+    LD = "ld"        # rd = MEM[rs1 + imm]
+    ST = "st"        # MEM[rs1 + imm] = rs2
+    # Integer ALU.
+    ADD = "add"      # rd = rs1 + rs2
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"      # rd = rs1 << (rs2 & 63)
+    SHR = "shr"      # rd = rs1 >> (rs2 & 63)
+    ADDI = "addi"    # rd = rs1 + imm
+    ANDI = "andi"    # rd = rs1 & imm
+    MOV = "mov"      # rd = rs1
+    LI = "li"        # rd = imm
+    # Long-latency integer.
+    MUL = "mul"
+    DIV = "div"      # rd = rs1 // rs2 (rs2 == 0 yields 0)
+    # Floating point (modelled as integer ops with FP latency classes).
+    FADD = "fadd"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    # Control flow.
+    BEQ = "beq"      # if rs1 == rs2 goto target
+    BNE = "bne"
+    BLT = "blt"      # signed compare
+    BGE = "bge"
+    JMP = "jmp"      # goto target
+    JR = "jr"        # goto rs1 (indirect)
+    CALL = "call"    # R31 = pc + 1; goto target
+    RET = "ret"      # goto R31 (indirect, return-stack predicted)
+    # Misc.
+    NOP = "nop"
+    HALT = "halt"    # stop the workload (tests only; kernels loop forever)
+
+
+class UopClass(enum.Enum):
+    """Execution resource / latency class of a micro-op."""
+
+    LOAD = "load"
+    STORE = "store"
+    IALU = "ialu"
+    IMUL = "imul"
+    IDIV = "idiv"
+    FADD = "fadd"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    BRANCH = "branch"
+    NOP = "nop"
+
+
+_OPCODE_CLASS = {
+    Opcode.LD: UopClass.LOAD,
+    Opcode.ST: UopClass.STORE,
+    Opcode.ADD: UopClass.IALU,
+    Opcode.SUB: UopClass.IALU,
+    Opcode.AND: UopClass.IALU,
+    Opcode.OR: UopClass.IALU,
+    Opcode.XOR: UopClass.IALU,
+    Opcode.SHL: UopClass.IALU,
+    Opcode.SHR: UopClass.IALU,
+    Opcode.ADDI: UopClass.IALU,
+    Opcode.ANDI: UopClass.IALU,
+    Opcode.MOV: UopClass.IALU,
+    Opcode.LI: UopClass.IALU,
+    Opcode.MUL: UopClass.IMUL,
+    Opcode.DIV: UopClass.IDIV,
+    Opcode.FADD: UopClass.FADD,
+    Opcode.FMUL: UopClass.FMUL,
+    Opcode.FDIV: UopClass.FDIV,
+    Opcode.BEQ: UopClass.BRANCH,
+    Opcode.BNE: UopClass.BRANCH,
+    Opcode.BLT: UopClass.BRANCH,
+    Opcode.BGE: UopClass.BRANCH,
+    Opcode.JMP: UopClass.BRANCH,
+    Opcode.JR: UopClass.BRANCH,
+    Opcode.CALL: UopClass.BRANCH,
+    Opcode.RET: UopClass.BRANCH,
+    Opcode.NOP: UopClass.NOP,
+    Opcode.HALT: UopClass.NOP,
+}
+
+CONDITIONAL_BRANCHES = frozenset(
+    {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE}
+)
+INDIRECT_BRANCHES = frozenset({Opcode.JR, Opcode.RET})
+UNCONDITIONAL_BRANCHES = frozenset(
+    {Opcode.JMP, Opcode.JR, Opcode.CALL, Opcode.RET}
+)
+
+
+class Instruction:
+    """A static instruction (== one decoded micro-op).
+
+    ``rd``, ``rs1``, ``rs2`` are architectural register indices (or ``None``
+    when unused); ``imm`` is a signed immediate; ``target`` is a static
+    branch/jump target PC (``None`` for indirect branches).
+    """
+
+    __slots__ = ("opcode", "rd", "rs1", "rs2", "imm", "target", "uop_class")
+
+    def __init__(
+        self,
+        opcode: Opcode,
+        rd: Optional[int] = None,
+        rs1: Optional[int] = None,
+        rs2: Optional[int] = None,
+        imm: int = 0,
+        target: Optional[int] = None,
+    ) -> None:
+        self.opcode = opcode
+        self.rd = rd
+        self.rs1 = rs1
+        self.rs2 = rs2
+        self.imm = imm
+        self.target = target
+        self.uop_class = _OPCODE_CLASS[opcode]
+
+    # -- classification helpers -------------------------------------------
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode is Opcode.LD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode is Opcode.ST
+
+    @property
+    def is_mem(self) -> bool:
+        return self.uop_class in (UopClass.LOAD, UopClass.STORE)
+
+    @property
+    def is_branch(self) -> bool:
+        return self.uop_class is UopClass.BRANCH
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        return self.opcode in CONDITIONAL_BRANCHES
+
+    @property
+    def is_indirect(self) -> bool:
+        return self.opcode in INDIRECT_BRANCHES
+
+    @property
+    def is_call(self) -> bool:
+        return self.opcode is Opcode.CALL
+
+    @property
+    def is_return(self) -> bool:
+        return self.opcode is Opcode.RET
+
+    @property
+    def is_halt(self) -> bool:
+        return self.opcode is Opcode.HALT
+
+    def sources(self) -> tuple[int, ...]:
+        """Architectural source register indices (R0 excluded: it is constant)."""
+        srcs = []
+        if self.rs1 is not None and self.rs1 != 0:
+            srcs.append(self.rs1)
+        if self.rs2 is not None and self.rs2 != 0:
+            srcs.append(self.rs2)
+        return tuple(srcs)
+
+    def dest(self) -> Optional[int]:
+        """Architectural destination register (``None`` if none or R0)."""
+        if self.rd is None or self.rd == 0:
+            return None
+        return self.rd
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        parts = [self.opcode.name]
+        if self.rd is not None:
+            parts.append(f"R{self.rd}")
+        if self.rs1 is not None:
+            parts.append(f"R{self.rs1}")
+        if self.rs2 is not None:
+            parts.append(f"R{self.rs2}")
+        if self.imm:
+            parts.append(f"#{self.imm}")
+        if self.target is not None:
+            parts.append(f"@{self.target}")
+        return f"<{' '.join(parts)}>"
+
+    def key(self) -> tuple:
+        """Structural identity tuple (used for exact chain comparison)."""
+        return (self.opcode, self.rd, self.rs1, self.rs2, self.imm, self.target)

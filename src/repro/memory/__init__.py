@@ -1,0 +1,18 @@
+"""Memory substrate: caches, MSHR-style fill merging, DDR3 DRAM, controller."""
+
+from .cache import Cache, CacheLine, CacheStats
+from .controller import MemoryController
+from .dram import Dram, DramChannel, DramStats
+from .hierarchy import AccessResult, MemoryHierarchy
+
+__all__ = [
+    "AccessResult",
+    "Cache",
+    "CacheLine",
+    "CacheStats",
+    "Dram",
+    "DramChannel",
+    "DramStats",
+    "MemoryController",
+    "MemoryHierarchy",
+]

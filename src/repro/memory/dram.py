@@ -1,0 +1,149 @@
+"""DDR3 DRAM timing model (Table 1: Micron MT41J512M4-style DDR3).
+
+Two channels, eight banks per channel, 8 KB rows.  Bank state (open row,
+next-free time) and channel data-bus serialization are modelled, which is
+what produces bank conflicts and queuing delays.  Timing parameters are in
+*core* cycles (3.2 GHz core; CAS 13.75 ns = 44 cycles).
+
+The model is "reservation-based": a request's completion time is computed
+when it reaches the controller, updating bank/bus reservations — this is
+equivalent to an FR-FCFS schedule for requests issued in arrival order and
+avoids per-cycle ticking (critical for a Python-hosted simulator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import DramConfig
+
+
+@dataclass
+class BankState:
+    next_free: int = 0
+    open_row: int | None = None
+
+
+@dataclass
+class DramStats:
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0      # bank had no open row
+    row_conflicts: int = 0   # bank had a different row open
+    activates: int = 0
+    busiest_wait: int = 0    # max cycles a request waited for its bank
+    by_kind: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def requests(self) -> int:
+        return self.reads + self.writes
+
+
+class DramChannel:
+    """One DDR3 channel: a set of banks plus a shared data bus."""
+
+    def __init__(self, config: DramConfig) -> None:
+        self.config = config
+        self.banks = [BankState() for _ in range(config.banks_per_channel)]
+        self.bus_free = 0
+
+    def service(self, bank_index: int, row: int, now: int, stats: DramStats,
+                priority: bool = False) -> int:
+        """Schedule one line transfer; returns the data-return cycle.
+
+        ``priority`` models demand-first FR-FCFS scheduling: a demand
+        read does not wait behind the whole speculative backlog — its
+        interference is capped at roughly one in-flight access (the
+        controller reorders it to the front of the bank queue).
+        """
+        cfg = self.config
+        bank = self.banks[bank_index]
+        if priority:
+            cap = now + cfg.t_rp + cfg.t_burst
+            start = max(now, min(bank.next_free, cap))
+        else:
+            start = max(now, bank.next_free)
+        stats.busiest_wait = max(stats.busiest_wait, start - now)
+        if (bank.open_row is not None
+                and start - bank.next_free > cfg.row_timeout):
+            # Bank idle too long: the controller's page policy (and
+            # refresh) closed the row in the meantime.  Measured from the
+            # end of the previous request, so a bank actively serving a
+            # burst keeps its row open.
+            bank.open_row = None
+        if bank.open_row == row:
+            access = cfg.t_cas
+            stats.row_hits += 1
+        elif bank.open_row is None:
+            access = cfg.t_rcd + cfg.t_cas
+            stats.row_misses += 1
+            stats.activates += 1
+        else:
+            access = cfg.t_rp + cfg.t_rcd + cfg.t_cas
+            stats.row_conflicts += 1
+            stats.activates += 1
+        bank.open_row = row
+        data_ready = start + access
+        if priority:
+            transfer_start = max(
+                data_ready, min(self.bus_free, data_ready + cfg.t_burst)
+            )
+        else:
+            transfer_start = max(data_ready, self.bus_free)
+        self.bus_free = transfer_start + cfg.t_burst
+        bank.next_free = max(bank.next_free, data_ready + cfg.t_burst)
+        return transfer_start + cfg.t_burst
+
+
+class Dram:
+    """The full DRAM subsystem: address mapping plus channels."""
+
+    # Address mapping (line address granularity): channel interleaved on the
+    # low line bit; 128 consecutive per-channel lines map to one row of one
+    # bank, so streams enjoy row-buffer locality while banks interleave at
+    # row granularity.
+    def __init__(self, config: DramConfig) -> None:
+        self.config = config
+        self.channels = [DramChannel(config) for _ in range(config.channels)]
+        self.stats = DramStats()
+        self._lines_per_row = max(1, config.row_bytes // 64)
+
+    def map_address(self, line_addr: int) -> tuple[int, int, int]:
+        """line address -> (channel, bank, row).
+
+        The bank index XOR-folds higher row bits (standard bank-index
+        hashing): without it, large power-of-two-aligned arrays all land
+        in one bank and every stream access becomes a row conflict.
+        """
+        channel = line_addr % self.config.channels
+        chan_line = line_addr // self.config.channels
+        row_global = chan_line // self._lines_per_row
+        banks = self.config.banks_per_channel
+        folded = row_global
+        folded ^= folded >> 12
+        folded ^= folded >> 6
+        folded ^= folded >> 3
+        bank = folded % banks
+        row = row_global // banks
+        return channel, bank, row
+
+    # Kinds served with demand-first priority at the controller.
+    PRIORITY_KINDS = frozenset({"demand", "store", "ifetch"})
+
+    def access(self, line_addr: int, now: int, is_write: bool = False,
+               kind: str = "demand") -> int:
+        """Schedule an access; returns its completion (data return) cycle."""
+        channel, bank, row = self.map_address(line_addr)
+        done = self.channels[channel].service(
+            bank, row, now, self.stats, priority=kind in self.PRIORITY_KINDS
+        )
+        if is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        self.stats.by_kind[kind] = self.stats.by_kind.get(kind, 0) + 1
+        return done
+
+    def reset_stats(self) -> None:
+        self.stats = DramStats()

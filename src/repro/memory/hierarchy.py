@@ -1,0 +1,263 @@
+"""The full cache/memory hierarchy (Table 1).
+
+32 KB L1I + 32 KB L1D (3-cycle), 1 MB inclusive LLC (18-cycle), stream
+prefetcher into the LLC, 64-entry memory queue, DDR3 DRAM.  All core-side
+requests funnel through :meth:`MemoryHierarchy.load`,
+:meth:`MemoryHierarchy.store_commit` and :meth:`MemoryHierarchy.ifetch`.
+
+Access *kinds* label traffic for the paper's accounting: ``demand`` (and
+``store``) are architectural, ``runahead`` are requests issued during any
+runahead mode, ``wrongpath`` during branch misspeculation, ``prefetch``
+from the stream engine.  Fig. 16 is computed from DRAM-request counts by
+kind; MPKI from demand LLC misses.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import SystemConfig
+from ..prefetch import StreamPrefetcher
+from .cache import Cache
+from .controller import MemoryController
+
+# Taxonomy of request kinds; used for DRAM/LLC accounting.
+CORE_KINDS = ("demand", "store", "runahead", "wrongpath")
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one load access."""
+
+    done_cycle: int
+    level: str            # "L1", "LLC", or "DRAM" — where the data came from
+    merged: bool = False  # satisfied by an in-flight fill (MSHR merge)
+
+    @property
+    def llc_miss(self) -> bool:
+        return self.level == "DRAM"
+
+
+class MemoryHierarchy:
+    """Composes L1I/L1D/LLC, the memory controller and the prefetcher."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.l1i = Cache(config.l1i)
+        self.l1d = Cache(config.l1d)
+        self.llc = Cache(config.llc)
+        self.controller = MemoryController(config.dram)
+        self.prefetcher: Optional[StreamPrefetcher] = (
+            StreamPrefetcher(config.prefetcher)
+            if config.prefetcher.enabled
+            else None
+        )
+        self._line_shift = config.llc.line_bytes.bit_length() - 1
+        self.llc.eviction_hook = self._on_llc_eviction
+        # Traffic accounting.
+        self.llc_misses: dict[str, int] = {k: 0 for k in CORE_KINDS}
+        self.llc_accesses: dict[str, int] = {k: 0 for k in CORE_KINDS}
+        self.ifetch_llc_misses = 0
+        # Outstanding LLC fills (MSHR occupancy): completion-cycle heap.
+        self._fills: list[int] = []
+        self.mshr_rejections = 0
+
+    # -- address helpers ---------------------------------------------------------
+
+    def line_of(self, addr: int) -> int:
+        return addr >> self._line_shift
+
+    # -- inclusion / FDP hook -----------------------------------------------------
+
+    def _on_llc_eviction(self, line_addr: int, line) -> None:
+        # Inclusive LLC: back-invalidate the L1s.
+        self.l1d.invalidate(line_addr)
+        self.l1i.invalidate(line_addr)
+        if line.dirty:
+            # Writeback traffic occupies DRAM but nothing waits on it.
+            self.controller.request(line_addr, 0, is_write=True, kind="writeback")
+        if (self.prefetcher is not None and line.prefetched
+                and not line.referenced):
+            self.prefetcher.record_unused_eviction()
+
+    def _fdp_demand_touch(self, line, now: int) -> None:
+        if (self.prefetcher is not None and line.prefetched
+                and not line.referenced):
+            line.referenced = True
+            self.prefetcher.record_useful(late=line.ready_cycle > now)
+
+    # -- MSHR occupancy -------------------------------------------------------------
+
+    # Speculative requests (runahead, prefetch) may not take the last few
+    # MSHRs: demand misses must never queue behind a speculative flood.
+    _SPECULATIVE_RESERVE = 4
+
+    def _mshr_free_at(self, now: int, kind: str = "demand") -> int:
+        """0 if an LLC MSHR is free at ``now``, else the cycle one frees."""
+        fills = self._fills
+        while fills and fills[0] <= now:
+            heapq.heappop(fills)
+        limit = self.config.llc.mshrs
+        if kind in ("runahead", "prefetch"):
+            limit -= self._SPECULATIVE_RESERVE
+        if len(fills) < limit:
+            return 0
+        # Conservative retry point: the earliest completion.  The caller
+        # may retry while still over the limit and be bounced again; each
+        # bounce moves it forward, so progress is guaranteed.
+        return fills[0]
+
+    def _register_fill(self, done: int) -> None:
+        heapq.heappush(self._fills, done)
+
+    # -- prefetch issue -----------------------------------------------------------
+
+    def _issue_prefetches(self, lines: list[int], now: int) -> None:
+        for line_addr in lines:
+            if self.llc.probe(line_addr):
+                continue
+            if self._mshr_free_at(now, "prefetch"):
+                continue  # MSHRs full: drop the prefetch
+            done = self.controller.request(line_addr, now, kind="prefetch")
+            self._register_fill(done)
+            self.llc.fill(line_addr, done, prefetched=True)
+
+    # -- core-side interface --------------------------------------------------------
+
+    def load(self, addr: int, now: int, kind: str = "demand") -> AccessResult:
+        """A data load; returns completion cycle and serving level.
+
+        When the access would allocate a new LLC MSHR and all MSHRs are
+        busy, returns level ``"RETRY"`` with ``done_cycle`` set to the
+        cycle an MSHR frees — the core must re-issue the load.  This is
+        the backpressure that bounds how far any runahead mode can run.
+        """
+        line_addr = self.line_of(addr)
+        if not self.l1d.probe(line_addr) and not self.llc.probe(line_addr):
+            free_at = self._mshr_free_at(now, kind)
+            if free_at:
+                self.mshr_rejections += 1
+                return AccessResult(free_at, "RETRY")
+        l1_latency = self.l1d.latency
+        line = self.l1d.lookup(line_addr)
+        if line is not None:
+            if line.ready_cycle <= now:
+                self.l1d.stats.hits += 1
+                return AccessResult(now + l1_latency, "L1")
+            # Fill in flight: merge with it.
+            self.l1d.stats.fill_hits += 1
+            return AccessResult(
+                max(line.ready_cycle, now + l1_latency), "L1", merged=True
+            )
+        self.l1d.stats.misses += 1
+        return self._llc_load(line_addr, now + l1_latency, kind, fill_l1=True)
+
+    def _llc_load(self, line_addr: int, now: int, kind: str,
+                  fill_l1: bool) -> AccessResult:
+        llc_latency = self.llc.latency
+        self.llc_accesses[kind] = self.llc_accesses.get(kind, 0) + 1
+        line = self.llc.lookup(line_addr)
+        if line is not None:
+            self._fdp_demand_touch(line, now)
+            if line.ready_cycle <= now:
+                self.llc.stats.hits += 1
+                done = now + llc_latency
+                level, merged = "LLC", False
+            else:
+                self.llc.stats.fill_hits += 1
+                done = max(line.ready_cycle, now + llc_latency)
+                # Merged with an outstanding DRAM fill: the data still comes
+                # from DRAM, which matters for runahead-entry decisions.
+                level, merged = "DRAM", True
+        else:
+            self.llc.stats.misses += 1
+            self.llc_misses[kind] = self.llc_misses.get(kind, 0) + 1
+            done = self.controller.request(line_addr, now + llc_latency,
+                                           kind=kind)
+            self._register_fill(done)
+            self.llc.fill(line_addr, done)
+            level, merged = "DRAM", False
+        if self.prefetcher is not None:
+            hits = line is not None
+            self._issue_prefetches(
+                self.prefetcher.on_demand_access(line_addr, hits), now
+            )
+        if fill_l1:
+            self.l1d.fill(line_addr, done)
+        return AccessResult(done, level, merged=merged)
+
+    def store_commit(self, addr: int, now: int, kind: str = "store") -> None:
+        """An architecturally committed store (write-allocate, write-back).
+
+        Nothing waits on stores (they drain from a store buffer), so this
+        only updates cache/DRAM state and traffic counters.
+        """
+        line_addr = self.line_of(addr)
+        line = self.l1d.lookup(line_addr)
+        if line is not None:
+            self.l1d.stats.hits += 1
+            line.dirty = True
+            return
+        self.l1d.stats.misses += 1
+        result = self._llc_load(line_addr, now + self.l1d.latency, kind,
+                                fill_l1=True)
+        self.l1d.mark_dirty(line_addr)
+        del result
+
+    def ifetch(self, addr: int, now: int) -> int:
+        """Instruction fetch of one line; returns completion cycle."""
+        line_addr = self.line_of(addr)
+        line = self.l1i.lookup(line_addr)
+        if line is not None:
+            if line.ready_cycle <= now:
+                self.l1i.stats.hits += 1
+                return now + self.l1i.latency
+            self.l1i.stats.fill_hits += 1
+            return max(line.ready_cycle, now + self.l1i.latency)
+        self.l1i.stats.misses += 1
+        t = now + self.l1i.latency
+        llc_line = self.llc.lookup(line_addr)
+        if llc_line is not None and llc_line.ready_cycle <= t:
+            self.llc.stats.hits += 1
+            done = t + self.llc.latency
+        elif llc_line is not None:
+            self.llc.stats.fill_hits += 1
+            done = llc_line.ready_cycle
+        else:
+            self.llc.stats.misses += 1
+            self.ifetch_llc_misses += 1
+            done = self.controller.request(line_addr, t + self.llc.latency,
+                                           kind="ifetch")
+            self.llc.fill(line_addr, done)
+        self.l1i.fill(line_addr, done)
+        return done
+
+    # -- warm-up support --------------------------------------------------------
+
+    def warm_load(self, addr: int) -> None:
+        """Functionally warm the caches (no timing, no prefetcher training)."""
+        line_addr = self.line_of(addr)
+        if self.l1d.probe(line_addr):
+            self.l1d.lookup(line_addr)
+            return
+        if not self.llc.probe(line_addr):
+            self.llc.fill(line_addr, 0)
+        else:
+            self.llc.lookup(line_addr)
+        self.l1d.fill(line_addr, 0)
+
+    def warm_ifetch(self, addr: int) -> None:
+        line_addr = self.line_of(addr)
+        if not self.llc.probe(line_addr):
+            self.llc.fill(line_addr, 0)
+        self.l1i.fill(line_addr, 0)
+
+    # -- reporting ----------------------------------------------------------------
+
+    def demand_llc_misses(self) -> int:
+        return self.llc_misses["demand"] + self.llc_misses["store"]
+
+    def dram_requests(self) -> int:
+        return self.controller.stats.requests

@@ -1,0 +1,5 @@
+"""Hardware prefetching: stream prefetcher + FDP throttling (Table 1)."""
+
+from .stream import PrefetcherStats, StreamPrefetcher
+
+__all__ = ["PrefetcherStats", "StreamPrefetcher"]

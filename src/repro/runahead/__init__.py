@@ -1,0 +1,21 @@
+"""Runahead execution: traditional runahead support structures plus the
+paper's contribution — dependence-chain generation, the runahead buffer,
+the chain cache, and the hybrid policy state."""
+
+from .buffer import RunaheadBuffer
+from .chain import ChainGenResult, ChainUop, chain_signature, generate_chain
+from .chain_cache import ChainCache
+from .runahead_cache import RunaheadCache
+from .state import IntervalRecord, RunaheadPolicyState
+
+__all__ = [
+    "ChainCache",
+    "ChainGenResult",
+    "ChainUop",
+    "IntervalRecord",
+    "RunaheadBuffer",
+    "RunaheadCache",
+    "RunaheadPolicyState",
+    "chain_signature",
+    "generate_chain",
+]

@@ -1,0 +1,158 @@
+"""Dependence-chain generation from the ROB (the paper's Algorithm 1).
+
+When the ROB is blocked by a cache miss, we speculate that a *different
+dynamic instance* of the same load PC is present in the ROB (Fig. 4 shows
+miss chains are overwhelmingly repetitive) and extract its backward
+dependence slice with a pseudo-wakeup walk:
+
+1. A program-order priority CAM on the PC field finds the **oldest** other
+   instance of the blocking PC.  (Oldest matters: its producers closest to
+   the retirement boundary have mostly retired, so the walk terminates at
+   one loop body instead of dragging in many iterations.)
+2. Its source *physical* registers are pushed onto the Source Register
+   Search List (SRSL).  Each cycle, up to ``reg_searches_per_cycle``
+   registers are CAM-matched against ROB destination fields; a producing
+   uop is added to the chain and its sources enqueued.
+3. Loads in the chain also search the store queue; a matching older store
+   joins the chain (register spill/fill chains).
+4. The walk stops when the SRSL drains or the chain reaches
+   ``max_length`` (32 uops, from the Fig. 5 chain-length data).
+
+The extracted chain is read out of the ROB in program order at the
+superscalar width and placed in the runahead buffer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, NamedTuple, Optional, Sequence
+
+from ..backend.inflight import InFlightUop
+from ..backend.lsq import StoreQueue
+from ..isa import Instruction
+
+
+class ChainUop(NamedTuple):
+    """One decoded uop of a dependence chain, with its original PC."""
+
+    pc: int
+    inst: Instruction
+
+
+@dataclass
+class ChainGenResult:
+    """Outcome of one chain-generation episode."""
+
+    chain: tuple[ChainUop, ...]      # program-order decoded uops
+    chain_seqs: tuple[int, ...]      # dynamic seq ids (analysis)
+    found_pc: bool                   # a second instance of the PC existed
+    hit_cap: bool                    # walk truncated at max_length
+    cycles: int                      # pipeline cycles the generation took
+    reg_searches: int                # dest-reg CAM searches (energy)
+    sq_searches: int                 # store-queue CAM searches (energy)
+
+    @property
+    def usable(self) -> bool:
+        return self.found_pc and len(self.chain) > 0
+
+
+def _empty_result(cycles: int) -> ChainGenResult:
+    return ChainGenResult((), (), False, False, cycles, 0, 0)
+
+
+def generate_chain(
+    rob_uops: Sequence[InFlightUop],
+    blocking: InFlightUop,
+    store_queue: Optional[StoreQueue],
+    max_length: int = 32,
+    reg_searches_per_cycle: int = 2,
+    readout_width: int = 4,
+) -> ChainGenResult:
+    """Run Algorithm 1 over a snapshot of the ROB.
+
+    ``rob_uops`` must be in program order with ``blocking`` at the head.
+    Returns the chain plus the cycle/energy cost of generating it.
+    """
+    # Cycle 0: PC CAM for the oldest other instance of the blocking PC.
+    cycles = 1
+    match: Optional[InFlightUop] = None
+    for uop in rob_uops:
+        if uop.seq != blocking.seq and uop.pc == blocking.pc and not uop.squashed:
+            match = uop
+            break
+    if match is None:
+        return _empty_result(cycles)
+
+    # Unique producer map: physical register -> producing in-flight uop.
+    producers: dict[int, InFlightUop] = {}
+    for uop in rob_uops:
+        if uop.dest_phys is not None and not uop.squashed:
+            producers[uop.dest_phys] = uop
+
+    chain: dict[int, InFlightUop] = {match.seq: match}
+    srsl: deque[int] = deque()
+    for phys in (match.src1_phys, match.src2_phys):
+        if phys is not None:
+            srsl.append(phys)
+
+    reg_searches = 0
+    sq_searches = 0
+    hit_cap = False
+
+    def enqueue_sources(uop: InFlightUop) -> None:
+        for phys in (uop.src1_phys, uop.src2_phys):
+            if phys is not None:
+                srsl.append(phys)
+
+    def try_add(uop: InFlightUop) -> bool:
+        if uop.seq in chain:
+            return False
+        if len(chain) >= max_length:
+            return False
+        chain[uop.seq] = uop
+        enqueue_sources(uop)
+        return True
+
+    while srsl:
+        if len(chain) >= max_length:
+            hit_cap = True
+            break
+        reg = srsl.popleft()
+        reg_searches += 1
+        producer = producers.get(reg)
+        if producer is None or producer.seq in chain:
+            continue
+        added = try_add(producer)
+        if not added:
+            continue
+        if producer.inst.is_load and store_queue is not None:
+            sq_searches += 1
+            if producer.addr_known and producer.mem_addr is not None:
+                store = store_queue.find_producing_store(
+                    producer.mem_addr >> 3, producer.seq
+                )
+                if store is not None and store.seq not in chain:
+                    try_add(store)
+
+    if srsl and len(chain) >= max_length:
+        hit_cap = True
+
+    ordered = sorted(chain.values(), key=lambda u: u.seq)
+    # Timing: 1 cycle PC CAM + the register-search walk + ROB readout.
+    cycles += -(-reg_searches // reg_searches_per_cycle) if reg_searches else 0
+    cycles += -(-len(ordered) // readout_width)
+    return ChainGenResult(
+        chain=tuple(ChainUop(u.pc, u.inst) for u in ordered),
+        chain_seqs=tuple(u.seq for u in ordered),
+        found_pc=True,
+        hit_cap=hit_cap,
+        cycles=cycles,
+        reg_searches=reg_searches,
+        sq_searches=sq_searches,
+    )
+
+
+def chain_signature(chain: Iterable[ChainUop]) -> tuple:
+    """Structural identity of a chain (for exact-match statistics, Fig. 13)."""
+    return tuple((uop.pc, *uop.inst.key()) for uop in chain)

@@ -1,0 +1,56 @@
+"""Runahead cache (Table 1: 512 B, 4-way set associative, 8 B lines).
+
+Holds the results of stores pseudo-retired during runahead so that later
+runahead loads can forward from them — runahead stores must never become
+globally observable [Mutlu et al., HPCA'03].  Cleared on runahead entry.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+
+class RunaheadCache:
+    """A tiny set-associative value cache, word (8 B) granularity."""
+
+    def __init__(self, size_bytes: int = 512, assoc: int = 4,
+                 line_bytes: int = 8) -> None:
+        self.num_sets = size_bytes // (assoc * line_bytes)
+        if self.num_sets < 1:
+            raise ValueError("runahead cache too small for its associativity")
+        self.assoc = assoc
+        self._sets: list[OrderedDict[int, int]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.writes = 0
+        self.hits = 0
+        self.misses = 0
+
+    def _set_for(self, word_addr: int) -> OrderedDict[int, int]:
+        return self._sets[word_addr % self.num_sets]
+
+    def write(self, addr: int, value: int) -> None:
+        word = addr >> 3
+        cache_set = self._set_for(word)
+        if word in cache_set:
+            cache_set.move_to_end(word)
+        elif len(cache_set) >= self.assoc:
+            cache_set.popitem(last=False)
+        cache_set[word] = value
+        self.writes += 1
+
+    def read(self, addr: int) -> Optional[int]:
+        word = addr >> 3
+        cache_set = self._set_for(word)
+        value = cache_set.get(word)
+        if value is None:
+            self.misses += 1
+            return None
+        cache_set.move_to_end(word)
+        self.hits += 1
+        return value
+
+    def clear(self) -> None:
+        for cache_set in self._sets:
+            cache_set.clear()

@@ -1,0 +1,118 @@
+"""Runahead policy bookkeeping: interval statistics and the entry filters.
+
+Implements the two hardware-controlled entry filters from Mutlu et al.
+(ISCA'05) that the paper adopts as "Runahead Enhancements" (§4.6):
+
+* **Policy 1 (short intervals)** — enter only if the blocking operation
+  was issued to memory fewer than ``enhancement_distance`` (250)
+  instructions ago; otherwise most of the miss latency has already
+  elapsed and the interval would be too short to be useful.
+* **Policy 2 (overlapping intervals)** — enter only if execution has
+  passed the furthest point reached by the previous runahead interval,
+  so runahead does not re-discover the same misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import RunaheadConfig
+
+
+@dataclass
+class IntervalRecord:
+    """What happened in one runahead interval (for Figs 10/11/14)."""
+
+    kind: str                 # "traditional" or "buffer"
+    entry_cycle: int
+    exit_cycle: int = 0
+    misses_generated: int = 0
+    uops_executed: int = 0
+    chain_gen_cycles: int = 0
+    used_chain_cache: bool = False
+
+    @property
+    def cycles(self) -> int:
+        return max(0, self.exit_cycle - self.entry_cycle)
+
+
+@dataclass
+class RunaheadPolicyState:
+    """Cross-interval policy state plus per-run statistics."""
+
+    config: RunaheadConfig
+    intervals: list[IntervalRecord] = field(default_factory=list)
+    current: IntervalRecord | None = None
+    # Entry filter state.
+    last_furthest_instruction: int = -1
+    entries_blocked_short: int = 0
+    entries_blocked_overlap: int = 0
+    entries_blocked_no_chain: int = 0
+    # Hybrid decision counters.
+    hybrid_cc_entries: int = 0
+    hybrid_chain_entries: int = 0
+    hybrid_traditional_entries: int = 0
+    # Chain-cache accuracy (Fig. 13).
+    cc_hits_checked: int = 0
+    cc_hits_exact: int = 0
+
+    # -- entry filters ----------------------------------------------------------
+
+    def enhancements_allow(self, committed_total: int,
+                           miss_issue_retired: int) -> bool:
+        """Apply policies 1 and 2; returns whether entry is allowed."""
+        cfg = self.config
+        if miss_issue_retired >= 0:
+            distance = committed_total - miss_issue_retired
+            if distance >= cfg.enhancement_distance:
+                self.entries_blocked_short += 1
+                return False
+        if committed_total <= self.last_furthest_instruction:
+            self.entries_blocked_overlap += 1
+            return False
+        return True
+
+    # -- interval lifecycle --------------------------------------------------------
+
+    def begin_interval(self, kind: str, now: int, chain_gen_cycles: int = 0,
+                       used_chain_cache: bool = False) -> IntervalRecord:
+        record = IntervalRecord(
+            kind=kind,
+            entry_cycle=now,
+            chain_gen_cycles=chain_gen_cycles,
+            used_chain_cache=used_chain_cache,
+        )
+        self.current = record
+        return record
+
+    def end_interval(self, now: int, committed_total: int,
+                     pseudo_retired: int) -> None:
+        record = self.current
+        if record is None:
+            return
+        record.exit_cycle = now
+        record.uops_executed = pseudo_retired
+        self.intervals.append(record)
+        self.current = None
+        furthest = committed_total + pseudo_retired
+        self.last_furthest_instruction = max(
+            self.last_furthest_instruction, furthest
+        )
+
+    # -- aggregates -------------------------------------------------------------------
+
+    def interval_count(self, kind: str | None = None) -> int:
+        if kind is None:
+            return len(self.intervals)
+        return sum(1 for r in self.intervals if r.kind == kind)
+
+    def cycles_in(self, kind: str | None = None) -> int:
+        return sum(r.cycles for r in self.intervals
+                   if kind is None or r.kind == kind)
+
+    def misses_per_interval(self, kind: str | None = None) -> float:
+        records = [r for r in self.intervals
+                   if kind is None or r.kind == kind]
+        if not records:
+            return 0.0
+        return sum(r.misses_generated for r in records) / len(records)

@@ -1,0 +1,37 @@
+"""Synthetic workloads: kernel builders and the SPEC06-like suite."""
+
+from .base import (
+    Workload,
+    build_workload,
+    intensity_of,
+    medium_high_names,
+    names_by_intensity,
+    region_base,
+    register,
+    workload_names,
+)
+from .kernels import (
+    compute,
+    dependent_walk,
+    gather,
+    hash_probe,
+    linked_list,
+    streaming,
+)
+
+__all__ = [
+    "Workload",
+    "build_workload",
+    "compute",
+    "dependent_walk",
+    "gather",
+    "hash_probe",
+    "intensity_of",
+    "linked_list",
+    "medium_high_names",
+    "names_by_intensity",
+    "region_base",
+    "register",
+    "streaming",
+    "workload_names",
+]

@@ -1,0 +1,101 @@
+"""Workload infrastructure: the Workload container and the suite registry.
+
+A workload is a mini-ISA program plus its initial data memory and register
+state.  The SPEC CPU2006 binaries/SimPoints the paper simulates are not
+available, so ``repro.workloads.spec`` registers 29 synthetic kernels —
+one per SPEC06 benchmark name — whose *memory-access structure* is tuned
+to reproduce each benchmark's published characteristics (see DESIGN.md §1
+for the substitution argument).
+
+Kernels avoid large memory-image initialisation by exploiting the
+deterministic hash-fill of :class:`~repro.isa.DataMemory`: loading an
+uninitialised word returns address-derived pseudo-random junk, which,
+masked into a region, serves as a pointer/index structure with zero
+set-up cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..isa import NUM_ARCH_REGS, DataMemory, Program
+
+# Disjoint address regions handed out to kernels (64 MB apart).
+REGION_BYTES = 1 << 26
+
+
+def region_base(index: int) -> int:
+    """Base byte address of data region ``index``."""
+    return (index + 1) * REGION_BYTES
+
+
+@dataclass
+class Workload:
+    """A runnable workload: program + initial memory + initial registers."""
+
+    name: str
+    program: Program
+    memory: DataMemory = field(default_factory=DataMemory)
+    init_regs: Optional[list[int]] = None
+    description: str = ""
+    intensity: str = "low"           # "low" | "medium" | "high" (Table 2)
+
+    def __post_init__(self) -> None:
+        if self.init_regs is not None and len(self.init_regs) != NUM_ARCH_REGS:
+            raise ValueError("init_regs must have NUM_ARCH_REGS entries")
+
+
+# name -> zero-argument builder
+_REGISTRY: dict[str, Callable[[], Workload]] = {}
+_INTENSITY: dict[str, str] = {}
+
+
+def register(name: str, intensity: str,
+             builder: Callable[[], Workload]) -> None:
+    """Add a named workload to the registry (idempotent per name)."""
+    if intensity not in ("low", "medium", "high"):
+        raise ValueError(f"bad intensity class: {intensity}")
+    _REGISTRY[name] = builder
+    _INTENSITY[name] = intensity
+
+
+def build_workload(name: str) -> Workload:
+    """Instantiate a registered workload (fresh memory/state every call)."""
+    _ensure_suite()
+    try:
+        builder = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    workload = builder()
+    workload.intensity = _INTENSITY[name]
+    return workload
+
+
+def workload_names() -> list[str]:
+    """All registered workload names, in suite (Fig. 1) order."""
+    _ensure_suite()
+    return list(_REGISTRY)
+
+
+def intensity_of(name: str) -> str:
+    _ensure_suite()
+    return _INTENSITY[name]
+
+
+def names_by_intensity(*classes: str) -> list[str]:
+    """Workload names in the given intensity classes, suite order."""
+    _ensure_suite()
+    return [n for n in _REGISTRY if _INTENSITY[n] in classes]
+
+
+def medium_high_names() -> list[str]:
+    """The 13 benchmarks the paper's evaluation focuses on (Table 2)."""
+    return names_by_intensity("medium", "high")
+
+
+def _ensure_suite() -> None:
+    # Importing the module populates the registry via register() calls.
+    from . import spec  # noqa: F401

@@ -1,0 +1,413 @@
+"""Synthetic kernel builders.
+
+Each builder assembles a small mini-ISA program whose *memory behaviour*
+mimics a class of SPEC CPU2006 benchmarks (see ``spec.py`` for the
+per-benchmark tuning).  The kernels share register conventions:
+
+========  ==========================================
+R1-R8     array cursors / address registers
+R9-R19    dependence-chain temporaries
+R16-R23   filler (off-chain) temporaries
+R24-R30   loop bounds and constants
+========  ==========================================
+
+Address-generating structures (pointer arrays, index arrays, hash tables)
+are *not* initialised in memory: loads of uninitialised words return
+deterministic address-derived junk (see :class:`repro.isa.DataMemory`),
+which — masked into a region — behaves like a random pointer/index
+structure at zero set-up cost.  Only values that feed *addresses* matter
+for miss behaviour; accumulated data values may be junk.
+"""
+
+from __future__ import annotations
+
+from ..isa import ProgramBuilder
+from .base import Workload, region_base
+
+_LINE_SHIFT = 6  # mask selects a 64-byte line within a region
+
+
+def _mask_for(region_bytes: int) -> int:
+    """Mask picking a random line index within ``region_bytes``."""
+    lines = region_bytes >> _LINE_SHIFT
+    return lines - 1
+
+
+def _emit_filler(b: ProgramBuilder, fp: int, ints: int, serial_fp: bool,
+                 src_reg: int = 9) -> None:
+    """Emit off-chain filler work.
+
+    ``serial_fp=True`` chains the FP ops on one register (latency-bound,
+    low-IPC benchmarks); otherwise they spread across temporaries.
+    """
+    temps = (16, 17, 18, 19, 20, 21, 22, 23)
+    for i in range(fp):
+        dst = temps[0] if serial_fp else temps[i % len(temps)]
+        # Couple only a quarter of the work to the freshly loaded value:
+        # stencil/stream codes compute mostly on already-cached operands.
+        src = src_reg if i % 4 == 0 else temps[(i + 3) % len(temps)]
+        if i % 2:
+            b.fmul(dst, dst, src)
+        else:
+            b.fadd(dst, dst, src)
+    for i in range(ints):
+        dst = temps[(i + 4) % len(temps)]
+        src = src_reg if i % 4 == 0 else temps[(i + 1) % len(temps)]
+        if i % 3 == 0:
+            b.xor(dst, dst, src)
+        elif i % 3 == 1:
+            b.add(dst, dst, src)
+        else:
+            b.sub(dst, dst, src)
+
+
+def streaming(
+    name: str,
+    num_arrays: int = 1,
+    array_bytes: int = 8 << 20,
+    filler_fp: int = 0,
+    filler_int: int = 0,
+    store: bool = False,
+    stencil_taps: int = 1,
+    serial_fp: bool = False,
+    segment_elems: int = 0,
+    segment_gap_bytes: int = 8192,
+    description: str = "",
+) -> Workload:
+    """Sequential sweep over ``num_arrays`` large arrays (libquantum, lbm,
+    bwaves, and — with ``stencil_taps > 1`` — the stencil codes).
+
+    One new cache line per array every 8 iterations; dependence chains are
+    the 2-uop induction+load pattern, maximally repetitive and maximally
+    prefetcher-friendly.
+
+    ``segment_elems > 0`` models a 2D grid walked row by row: after every
+    ``segment_elems`` elements the cursors jump by ``segment_gap_bytes``
+    (the next row).  A stream prefetcher loses the stream at each
+    boundary — it overshoots into the gap (the paper's inaccurate-PF
+    traffic) and pays a retraining period — whereas runahead follows the
+    program's own code across the boundary.  The runahead buffer's looped
+    chain, which omits the boundary branch, runs straight past a row end:
+    the source of its mild traffic inaccuracy on stencils (Fig. 16).
+    """
+    if not 1 <= num_arrays <= 5:
+        raise ValueError("num_arrays must be in 1..5")
+    if segment_elems and segment_elems & (segment_elems - 1):
+        raise ValueError("segment_elems must be a power of two")
+    b = ProgramBuilder()
+    b.label("start")
+    if segment_elems:
+        b.li(30, 0)                              # element counter
+        b.li(25, segment_elems - 1)
+        b.li(26, segment_gap_bytes)
+    b.label("init")
+    for a in range(num_arrays):
+        b.li(1 + a, region_base(a))
+    b.li(24, region_base(0) + array_bytes)
+    if store:
+        b.li(8, region_base(num_arrays))
+    b.label("loop")
+    for a in range(num_arrays):
+        cursor = 1 + a
+        for tap in range(stencil_taps):
+            b.load(9 + (a + tap) % 7, cursor, tap * 8)
+    _emit_filler(b, filler_fp, filler_int, serial_fp)
+    if store:
+        b.store(9, 8, 0)
+        b.addi(8, 8, 8)
+    for a in range(num_arrays):
+        b.addi(1 + a, 1 + a, 8)
+    if segment_elems:
+        b.addi(30, 30, 1)
+        b.and_(29, 30, 25)
+        b.bne(29, 0, "no_gap")                   # row boundary reached?
+        for a in range(num_arrays):
+            b.add(1 + a, 1 + a, 26)
+        if store:
+            b.add(8, 8, 26)
+        b.label("no_gap")
+    b.blt(1, 24, "loop")
+    b.jmp("init")
+    return Workload(name, b.build(entry="start", name=name),
+                    description=description or "sequential streaming sweep")
+
+
+def gather(
+    name: str,
+    index_region_bytes: int = 8 << 20,
+    data_region_bytes: int = 32 << 20,
+    deref_depth: int = 1,
+    filler_fp: int = 0,
+    filler_int: int = 0,
+    store: bool = False,
+    serial_fp: bool = False,
+    description: str = "",
+) -> Workload:
+    """Indirect gather ``A[B[i]]`` (mcf's arc walks, milc/soplex gathers).
+
+    The index array streams (prefetchable); the dereference lands on a
+    random line of a large region (not prefetchable).  The address chain
+    is short (induction -> index load -> mask/scale -> deref), exactly the
+    repetitive filtered chain the runahead buffer targets.  With
+    ``deref_depth=2`` the loaded junk seeds a second dereference.
+    """
+    if not 1 <= deref_depth <= 3:
+        raise ValueError("deref_depth must be in 1..3")
+    b = ProgramBuilder()
+    mask = _mask_for(data_region_bytes)
+    b.label("init")
+    b.li(1, region_base(0))                      # index-array cursor
+    b.li(24, region_base(0) + index_region_bytes)
+    b.li(26, region_base(1))                     # data region base
+    b.li(27, _LINE_SHIFT)
+    if store:
+        b.li(8, region_base(2))
+    b.label("loop")
+    b.load(9, 1, 0)                              # B[i] (junk index)
+    value_reg = 9
+    for _level in range(deref_depth):
+        # Static register reuse across levels is fine: renaming keeps the
+        # dynamic chain exact, and chain generation walks physical regs.
+        b.andi(10, value_reg, mask)              # line index in region
+        b.shl(11, 10, 27)                        # *64
+        b.add(12, 11, 26)                        # + base
+        b.load(13, 12, 0)                        # A[...] (random line)
+        value_reg = 13
+    _emit_filler(b, filler_fp, filler_int, serial_fp, src_reg=value_reg)
+    if store:
+        b.store(value_reg, 8, 0)
+        b.addi(8, 8, 8)
+    b.addi(1, 1, 8)
+    b.bne(1, 24, "loop")
+    b.jmp("init")
+    return Workload(name, b.build(entry="init", name=name),
+                    description=description or "indirect gather A[B[i]]")
+
+
+def dependent_walk(
+    name: str,
+    seed_region_bytes: int = 8 << 20,
+    data_region_bytes: "int | list[int]" = 32 << 20,
+    depth: int = 2,
+    filler_fp: int = 2,
+    filler_int: int = 0,
+    description: str = "",
+) -> Workload:
+    """Pointer-chasing walk reseeded from a streamed array (sphinx3-like
+    search structures).
+
+    Each outer iteration performs ``depth`` *serially dependent* loads:
+    level *k+1*'s address derives from level *k*'s loaded data.  Levels
+    beyond the first have their source data off chip, the part of Fig. 2
+    runahead cannot target; the runahead buffer replays the walk but only
+    the first level's address is sound — later levels go to junk
+    addresses, producing the inaccurate-traffic behaviour the paper
+    reports for sphinx.
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    if isinstance(data_region_bytes, int):
+        level_bytes = [data_region_bytes] * depth
+    else:
+        level_bytes = list(data_region_bytes)
+        if len(level_bytes) != depth:
+            raise ValueError("need one region size per level")
+    b = ProgramBuilder()
+    b.label("init")
+    b.li(1, region_base(0))
+    b.li(24, region_base(0) + seed_region_bytes)
+    for level in range(depth):
+        b.li(26 + level, region_base(1 + level))
+    b.li(30, _LINE_SHIFT)
+    b.label("loop")
+    b.load(9, 1, 0)                              # seed (streams)
+    value_reg = 9
+    for level in range(depth):
+        b.andi(10, value_reg, _mask_for(level_bytes[level]))
+        b.shl(11, 10, 30)
+        b.add(12, 11, 26 + level)
+        b.load(13, 12, 0)
+        value_reg = 13
+    _emit_filler(b, filler_fp, filler_int, False, src_reg=value_reg)
+    b.addi(1, 1, 8)
+    b.bne(1, 24, "loop")
+    b.jmp("init")
+    return Workload(name, b.build(entry="init", name=name),
+                    description=description or "serially dependent walk")
+
+
+def hash_probe(
+    name: str,
+    table_bytes: int = 32 << 20,
+    hash_rounds: int = 16,
+    stateful: bool = False,
+    iterations: int = 1 << 30,
+    description: str = "",
+) -> Workload:
+    """Hash-table probing with a long address-computation chain
+    (omnetpp-like).
+
+    The probe address is a many-round mix of the iteration counter, so the
+    miss's dependence chain is *long* (2 uops per round + the load — with
+    the default 16 rounds it exceeds the paper's 32-uop chain cap).  That
+    reproduces omnetpp's signature behaviour: traditional runahead
+    (following the front-end) prefetches accurately, while the runahead
+    buffer must truncate the chain — its loop then recomputes a fixed
+    address and generates no MLP — and the hybrid policy detects the
+    over-long chain and falls back to traditional runahead (Fig. 8).
+    A ~50/50 data-dependent branch supplies omnetpp's poor branch
+    behaviour without feeding addresses.
+
+    ``stateful=True`` additionally folds loaded data into the address
+    state (an even more runahead-hostile variant used by tests/examples;
+    every scheme's accuracy collapses because the source data is off
+    chip).
+    """
+    if not 1 <= hash_rounds <= 16:
+        raise ValueError("hash_rounds must be in 1..16")
+    b = ProgramBuilder()
+    mask = _mask_for(table_bytes)
+    b.label("init")
+    b.li(5, 0)                       # counter
+    b.li(7, 0x9E3779B9)              # state seed
+    b.li(24, iterations)
+    b.li(26, region_base(0))
+    b.li(27, _LINE_SHIFT)
+    b.li(28, 0x5851F42D)             # multiplier
+    b.li(29, 13)                     # shift amount
+    b.label("loop")
+    # Long address computation: counter (and optionally state) mixed
+    # through `hash_rounds` shift/xor rounds.
+    b.mul(9, 5, 28)
+    if stateful:
+        b.xor(10, 9, 7)
+    else:
+        b.addi(10, 9, 0x6D2B79F5)
+    value = 10
+    for round_index in range(hash_rounds):
+        r = 11 + (round_index % 2) * 2
+        b.shr(r, value, 29)
+        b.xor(r + 1, r, value)
+        value = r + 1
+    b.andi(20, value, mask)
+    b.shl(21, 20, 27)
+    b.add(22, 21, 26)
+    b.load(19, 22, 0)                # the probe (random line)
+    b.andi(23, 19, 1)
+    b.beq(23, 0, "skip_update")      # data-dependent (~50/50)
+    if stateful:
+        b.xor(7, 7, 19)              # state absorbs loaded (off-chip) data
+    b.addi(16, 16, 1)                # bookkeeping on the taken path
+    b.label("skip_update")
+    b.addi(5, 5, 1)
+    b.bne(5, 24, "loop")
+    b.jmp("init")
+    return Workload(name, b.build(entry="init", name=name),
+                    description=description or "hash probing, long chains")
+
+
+def compute(
+    name: str,
+    working_set_bytes: int = 64 << 10,
+    filler_fp: int = 6,
+    filler_int: int = 4,
+    serial_fp: bool = False,
+    branchy: bool = False,
+    big_region_every: int = 0,
+    big_region_bytes: int = 32 << 20,
+    use_muldiv: bool = False,
+    description: str = "",
+) -> Workload:
+    """Cache-resident compute loop (the 16 low-intensity benchmarks).
+
+    The working set fits in the L1/LLC, so the loop is bound by execution
+    resources and (with ``branchy=True``) branch mispredicts.  Setting
+    ``big_region_every=N`` adds one random big-region load every N
+    iterations, producing the fractional MPKIs of gcc/astar/xalancbmk.
+    """
+    b = ProgramBuilder()
+    b.label("start")                             # one-time preamble
+    if big_region_every:
+        b.li(5, 0)                               # global counter: never reset
+    b.label("init")                              # per-pass cursor reset
+    b.li(1, region_base(0))
+    b.li(24, region_base(0) + working_set_bytes)
+    if big_region_every:
+        b.li(26, region_base(1))
+        b.li(27, _LINE_SHIFT)
+        b.li(25, big_region_every - 1)
+    if use_muldiv:
+        b.li(28, 2654435761)
+        b.li(29, 17)
+    b.label("loop")
+    b.load(9, 1, 0)                              # small region: cache hit
+    _emit_filler(b, filler_fp, filler_int, serial_fp)
+    if use_muldiv:
+        b.mul(18, 9, 28)
+        b.shr(19, 18, 29)
+    if branchy:
+        b.andi(20, 9, 1)
+        b.beq(20, 0, "even")
+        b.addi(16, 16, 1)
+        b.jmp("join")
+        b.label("even")
+        b.addi(17, 17, 1)
+        b.label("join")
+    if big_region_every:
+        b.addi(5, 5, 1)
+        b.and_(21, 5, 25)
+        b.bne(21, 0, "no_big")
+        b.xor(22, 9, 5)                          # mix counter: fresh lines
+        b.andi(22, 22, _mask_for(big_region_bytes))
+        b.shl(22, 22, 27)
+        b.add(22, 22, 26)
+        b.load(23, 22, 0)                        # occasional far miss
+        b.label("no_big")
+    b.addi(1, 1, 8)
+    b.bne(1, 24, "loop")
+    b.jmp("init")
+    return Workload(name, b.build(entry="start", name=name),
+                    description=description or "cache-resident compute loop")
+
+
+def linked_list(
+    name: str,
+    num_nodes: int = 1 << 16,
+    node_stride: int = 256,
+    payload_loads: int = 1,
+    description: str = "",
+) -> Workload:
+    """A true serially-dependent linked-list walk (``p = p->next``).
+
+    Built with a real initialised list (shuffled order), this is the
+    pathological case where *no* runahead scheme can generate MLP — the
+    next address is the missing data itself (Fig. 2's off-chip-source
+    misses).  Used by examples and tests, not part of the SPEC06 suite.
+    """
+    from ..isa import DataMemory
+
+    memory = DataMemory()
+    base = region_base(0)
+    # Deterministic shuffle of node order (LCG permutation walk).
+    order = list(range(num_nodes))
+    state = 0x12345678
+    for i in range(num_nodes - 1, 0, -1):
+        state = (state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+        j = state % (i + 1)
+        order[i], order[j] = order[j], order[i]
+    addr_of = [base + idx * node_stride for idx in order]
+    for here, nxt in zip(addr_of, addr_of[1:]):
+        memory.store(here, nxt)
+    memory.store(addr_of[-1], addr_of[0])        # circular
+
+    b = ProgramBuilder()
+    b.label("init")
+    b.li(1, addr_of[0])
+    b.label("loop")
+    b.load(1, 1, 0)                              # p = p->next
+    for k in range(payload_loads):
+        b.load(9 + k, 1, 8 * (k + 1))
+        b.add(16, 16, 9 + k)
+    b.jmp("loop")
+    return Workload(name, b.build(entry="init", name=name), memory=memory,
+                    description=description or "serial linked-list walk")

@@ -1,0 +1,163 @@
+"""The synthetic SPEC CPU2006-like suite (one kernel per benchmark name).
+
+Each entry tunes a kernel builder so the workload lands in its Table 2
+memory-intensity class and exhibits the qualitative behaviour the paper's
+motivation figures attribute to it:
+
+* mcf / milc / soplex — short, highly repetitive miss chains (index-array
+  gathers): the runahead buffer's best case.
+* libquantum / lbm / bwaves — pure streams: prefetcher's best case;
+  runahead chains are the trivial induction+load pair.
+* leslie3d / GemsFDTD — multi-array stencil streams, high MPKI.
+* zeusmp / cactusADM / wrf — stencils with heavy per-element FP work:
+  medium MPKI, big bodies but tiny address chains, so the runahead buffer
+  runs far further ahead than traditional runahead.
+* omnetpp — stateful hash probing: long, low-repetition chains and
+  data-dependent branches; traditional runahead's territory.
+* sphinx3 — dependent two-level walk (cache-resident level 1): longer
+  chains, moderately inaccurate when replayed from the buffer.
+* 16 low-intensity benchmarks — cache-resident compute loops with varied
+  FP/int/branch mixes and (for gcc/astar/xalancbmk et al.) an occasional
+  far miss for their fractional MPKIs.
+
+Ordering matches Fig. 1 (sorted by memory intensity).
+"""
+
+from __future__ import annotations
+
+from .base import register
+from .kernels import compute, dependent_walk, gather, hash_probe, streaming
+
+KB = 1 << 10
+MB = 1 << 20
+
+
+def _lazy(builder, **params):
+    return lambda: builder(**params)
+
+
+# -- low intensity (MPKI <= 2), Fig. 1 left-to-right ---------------------------
+
+register("calculix", "low", _lazy(
+    compute, name="calculix", filler_fp=8, filler_int=4,
+    working_set_bytes=4 * KB,
+    description="FE solver: parallel FP, cache resident"))
+register("povray", "low", _lazy(
+    compute, name="povray", filler_fp=6, filler_int=4, serial_fp=True,
+    working_set_bytes=4 * KB,
+    description="ray tracing: serial FP chains"))
+register("namd", "low", _lazy(
+    compute, name="namd", filler_fp=9, filler_int=3,
+    working_set_bytes=4 * KB,
+    description="molecular dynamics: FP heavy"))
+register("gamess", "low", _lazy(
+    compute, name="gamess", filler_fp=7, filler_int=5,
+    working_set_bytes=4 * KB,
+    description="quantum chemistry: mixed FP/int"))
+register("perlbench", "low", _lazy(
+    compute, name="perlbench", filler_fp=1, filler_int=8, branchy=True,
+    working_set_bytes=4 * KB, big_region_every=128,
+    description="interpreter: branchy integer"))
+register("tonto", "low", _lazy(
+    compute, name="tonto", filler_fp=6, filler_int=3, serial_fp=True,
+    working_set_bytes=4 * KB,
+    description="quantum crystallography: serial FP"))
+register("gromacs", "low", _lazy(
+    compute, name="gromacs", filler_fp=7, filler_int=3,
+    working_set_bytes=4 * KB,
+    description="molecular dynamics"))
+register("gobmk", "low", _lazy(
+    compute, name="gobmk", filler_fp=0, filler_int=7, branchy=True,
+    working_set_bytes=4 * KB, big_region_every=128,
+    description="Go engine: mispredict-bound"))
+register("dealII", "low", _lazy(
+    compute, name="dealII", filler_fp=6, filler_int=4,
+    working_set_bytes=4 * KB, big_region_every=128,
+    description="FE library"))
+register("sjeng", "low", _lazy(
+    compute, name="sjeng", filler_fp=0, filler_int=6, branchy=True,
+    use_muldiv=True, working_set_bytes=4 * KB, big_region_every=160,
+    description="chess engine: branchy, mul/div"))
+register("gcc", "low", _lazy(
+    compute, name="gcc", filler_fp=0, filler_int=6, branchy=True,
+    working_set_bytes=4 * KB, big_region_every=64,
+    description="compiler: branchy, pointer-ish"))
+register("hmmer", "low", _lazy(
+    compute, name="hmmer", filler_fp=2, filler_int=9,
+    working_set_bytes=4 * KB,
+    description="profile HMM: ILP-rich integer"))
+register("h264", "low", _lazy(
+    compute, name="h264", filler_fp=2, filler_int=8,
+    working_set_bytes=4 * KB, big_region_every=256,
+    description="video encode: integer SIMD-ish"))
+register("bzip2", "low", _lazy(
+    compute, name="bzip2", filler_fp=0, filler_int=8, branchy=True,
+    working_set_bytes=4 * KB, big_region_every=96,
+    description="compression"))
+register("astar", "low", _lazy(
+    compute, name="astar", filler_fp=0, filler_int=5, branchy=True,
+    working_set_bytes=4 * KB, big_region_every=64,
+    description="path finding: fractional MPKI"))
+register("xalancbmk", "low", _lazy(
+    compute, name="xalancbmk", filler_fp=0, filler_int=5, branchy=True,
+    working_set_bytes=4 * KB, big_region_every=96,
+    description="XSLT: fractional MPKI"))
+
+# -- medium intensity (2 < MPKI < 10) -------------------------------------------
+
+register("zeusmp", "medium", _lazy(
+    streaming, name="zeusmp", segment_elems=1024, num_arrays=2, stencil_taps=2, filler_fp=24,
+    filler_int=2, array_bytes=8 * MB,
+    description="CFD stencil: 2 streams, heavy FP"))
+register("cactusADM", "medium", _lazy(
+    streaming, name="cactusADM", segment_elems=1024, num_arrays=2, stencil_taps=3, filler_fp=30,
+    filler_int=2, array_bytes=8 * MB, store=True,
+    description="GR solver stencil: big body, tiny chains"))
+register("wrf", "medium", _lazy(
+    streaming, name="wrf", segment_elems=1024, num_arrays=1, stencil_taps=3, filler_fp=28,
+    filler_int=2, array_bytes=8 * MB,
+    description="weather stencil: 1 stream, heavy FP"))
+
+# -- high intensity (MPKI >= 10) --------------------------------------------------
+
+register("GemsFDTD", "high", _lazy(
+    streaming, name="GemsFDTD", segment_elems=1024, num_arrays=5, filler_fp=12, filler_int=1,
+    array_bytes=8 * MB,
+    description="FDTD: 5 streams"))
+register("leslie3d", "high", _lazy(
+    streaming, name="leslie3d", segment_elems=1024, num_arrays=3, stencil_taps=2, filler_fp=10,
+    filler_int=1, array_bytes=8 * MB, store=True,
+    description="LES stencil: 3 streams + store"))
+register("omnetpp", "high", _lazy(
+    hash_probe, name="omnetpp", table_bytes=32 * MB, hash_rounds=16,
+    description="discrete-event sim: hash probes with over-long chains"))
+register("milc", "high", _lazy(
+    gather, name="milc", index_region_bytes=8 * MB,
+    data_region_bytes=32 * MB, deref_depth=1, filler_fp=8,
+    description="lattice QCD: indirect gather + FP"))
+register("soplex", "high", _lazy(
+    gather, name="soplex", index_region_bytes=8 * MB,
+    data_region_bytes=16 * MB, deref_depth=1, filler_fp=4, filler_int=2,
+    store=True,
+    description="LP solver: sparse gather + store"))
+register("sphinx3", "high", _lazy(
+    dependent_walk, name="sphinx3", seed_region_bytes=8 * MB,
+    data_region_bytes=[256 * KB, 32 * MB], depth=2, filler_fp=6,
+    description="speech: 2-level dependent walk"))
+register("bwaves", "high", _lazy(
+    streaming, name="bwaves", segment_elems=1024, num_arrays=3, filler_fp=10, filler_int=1,
+    array_bytes=8 * MB,
+    description="CFD: 3 pure streams"))
+register("libquantum", "high", _lazy(
+    streaming, name="libquantum", num_arrays=1, filler_int=2, store=True,
+    array_bytes=16 * MB,
+    description="quantum sim: single read-modify-write stream"))
+register("lbm", "high", _lazy(
+    streaming, name="lbm", segment_elems=1024, num_arrays=3, filler_fp=8, filler_int=1,
+    store=True, array_bytes=8 * MB,
+    description="lattice Boltzmann: 3 streams + store"))
+register("mcf", "high", _lazy(
+    gather, name="mcf", index_region_bytes=8 * MB,
+    data_region_bytes=64 * MB, deref_depth=1, filler_int=6,
+    store=True,
+    description="network simplex: pointer-array walk, short chains"))

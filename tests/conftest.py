@@ -1,0 +1,10 @@
+"""Shared test fixtures."""
+
+import pytest
+
+from repro.config import default_system
+
+
+@pytest.fixture
+def system_config():
+    return default_system()

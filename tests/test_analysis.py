@@ -1,0 +1,160 @@
+"""Analysis harness tests: metrics, matrix caching, figures, rendering."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    ExperimentMatrix,
+    Table,
+    figures,
+    gmean,
+    gmean_percent_delta,
+    percent_delta,
+    render,
+    write_report,
+)
+
+
+class TestMetrics:
+    def test_gmean_basic(self):
+        assert gmean([2, 8]) == pytest.approx(4.0)
+        assert gmean([5]) == pytest.approx(5.0)
+
+    def test_gmean_clamps_zero(self):
+        assert gmean([0.0, 1.0]) > 0
+
+    def test_gmean_empty_raises(self):
+        with pytest.raises(ValueError):
+            gmean([])
+
+    def test_percent_delta(self):
+        assert percent_delta(1.5, 1.0) == pytest.approx(50.0)
+        assert percent_delta(1.0, 0.0) == 0.0
+
+    def test_gmean_percent_delta(self):
+        assert gmean_percent_delta([2, 2], [1, 1]) == pytest.approx(100.0)
+        with pytest.raises(ValueError):
+            gmean_percent_delta([1], [1, 2])
+
+
+class TestTableRendering:
+    def test_add_and_render(self):
+        table = Table("Demo", ["name", "value"])
+        table.add("alpha", 1.2345)
+        table.notes.append("a note")
+        text = render(table)
+        assert "Demo" in text
+        assert "alpha" in text
+        assert "1.23" in text
+        assert "a note" in text
+
+    def test_wrong_arity_rejected(self):
+        table = Table("Demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add(1)
+
+    def test_column_and_row_map(self):
+        table = Table("Demo", ["name", "value"])
+        table.add("x", 1)
+        table.add("y", 2)
+        assert table.column("value") == [1, 2]
+        assert table.row_map()["y"] == ("y", 2)
+
+    def test_write_report(self, tmp_path):
+        table = Table("Demo", ["a"])
+        table.add(1)
+        out = write_report(table, "demo.txt", directory=tmp_path)
+        assert out.read_text().startswith("Demo")
+
+
+class TestExperimentMatrix:
+    def test_memoizes_in_memory(self, tmp_path):
+        matrix = ExperimentMatrix(instructions=400, warmup=500,
+                                  cache_path=tmp_path / "cache.json")
+        first = matrix.get("calculix", "baseline")
+        second = matrix.get("calculix", "baseline")
+        assert first is second
+
+    def test_disk_cache_roundtrip(self, tmp_path):
+        path = tmp_path / "cache.json"
+        m1 = ExperimentMatrix(instructions=400, warmup=500, cache_path=path)
+        stats = m1.get("calculix", "baseline")
+        m1.save()
+        assert path.exists()
+        m2 = ExperimentMatrix(instructions=400, warmup=500, cache_path=path)
+        assert m2.get("calculix", "baseline") == stats
+
+    def test_stale_model_version_discarded(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps({"model_version": -1, "results":
+                                    {"bogus": {}}}))
+        matrix = ExperimentMatrix(instructions=400, warmup=500,
+                                  cache_path=path)
+        assert matrix._results == {}
+
+    def test_unknown_config_rejected(self, tmp_path):
+        matrix = ExperimentMatrix(cache_path=tmp_path / "c.json")
+        with pytest.raises(ValueError):
+            matrix.get("mcf", "not_a_config")
+
+    def test_speedup_helper(self, tmp_path):
+        matrix = ExperimentMatrix(instructions=400, warmup=500,
+                                  cache_path=None)
+        delta = matrix.speedup_pct("calculix", "baseline")
+        assert delta == pytest.approx(0.0)
+
+    def test_chain_stats_cells_distinct(self, tmp_path):
+        matrix = ExperimentMatrix(instructions=400, warmup=500,
+                                  cache_path=None)
+        plain = matrix.get("calculix", "baseline")
+        chains = matrix.get("calculix", "baseline", chain_stats=True)
+        assert plain is not chains
+
+
+@pytest.fixture(scope="module")
+def small_matrix():
+    return ExperimentMatrix(instructions=800, warmup=1500, cache_path=None)
+
+
+class TestFigureExtractors:
+    def test_table1_matches_paper_column(self):
+        table = figures.table1_configuration()
+        for row in table.rows:
+            assert row[1] == row[2], f"{row[0]} deviates from Table 1"
+
+    def test_fig09_shape(self, small_matrix):
+        table = figures.fig09_performance_nopf(small_matrix)
+        assert table.headers[0] == "benchmark"
+        assert table.rows[-1][0] == "GMean"
+        assert len(table.rows) == 14  # 13 benchmarks + gmean
+
+    def test_fig10_has_average(self, small_matrix):
+        table = figures.fig10_mlp(small_matrix)
+        assert table.rows[-1][0] == "Average"
+
+    def test_fig16_traffic_nonnegative_for_pf(self, small_matrix):
+        table = figures.fig16_memory_traffic(small_matrix)
+        pf_col = list(table.headers).index("pf")
+        gmean_row = table.rows[-1]
+        assert gmean_row[pf_col] > 0  # the prefetcher adds traffic
+
+    def test_headline_summary_renders(self, small_matrix):
+        table = figures.headline_summary(small_matrix)
+        text = render(table)
+        assert "runahead perf %" in text
+
+
+class TestComparisonExport:
+    def test_export_comparison(self, small_matrix, tmp_path):
+        out = figures.export_comparison(small_matrix,
+                                        path=tmp_path / "cmp.json")
+        payload = json.loads(out.read_text())
+        assert "runahead perf %" in payload
+        for entry in payload.values():
+            assert set(entry) == {"measured", "paper", "direction_matches"}
+
+    def test_paper_headline_registry_complete(self):
+        table_metrics = set(figures.PAPER_HEADLINES)
+        assert "rab_cc energy %" in table_metrics
+        assert len(table_metrics) == 11

@@ -1,0 +1,144 @@
+"""Set-associative cache model tests."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CacheConfig
+from repro.memory import Cache
+
+
+def make_cache(size=1024, assoc=2, line=64, latency=3):
+    return Cache(CacheConfig("T", size, assoc, line, latency))
+
+
+class TestBasics:
+    def test_geometry(self):
+        cache = make_cache(size=1024, assoc=2, line=64)
+        assert cache.num_sets == 8
+
+    def test_fill_then_lookup(self):
+        cache = make_cache()
+        cache.fill(5, ready_cycle=10)
+        line = cache.lookup(5)
+        assert line is not None
+        assert line.ready_cycle == 10
+
+    def test_miss_returns_none(self):
+        cache = make_cache()
+        assert cache.lookup(5) is None
+
+    def test_probe_does_not_touch_lru(self):
+        cache = make_cache(assoc=2)
+        sets = cache.num_sets
+        a, b, c = 0, sets, 2 * sets  # same set
+        cache.fill(a, 0)
+        cache.fill(b, 0)
+        cache.probe(a)          # must NOT refresh a
+        cache.fill(c, 0)        # evicts a (LRU), not b
+        assert not cache.probe(a)
+        assert cache.probe(b)
+
+
+class TestLru:
+    def test_lookup_refreshes_lru(self):
+        cache = make_cache(assoc=2)
+        sets = cache.num_sets
+        a, b, c = 0, sets, 2 * sets
+        cache.fill(a, 0)
+        cache.fill(b, 0)
+        cache.lookup(a)         # refresh a
+        cache.fill(c, 0)        # evicts b
+        assert cache.probe(a)
+        assert not cache.probe(b)
+
+    def test_eviction_returns_victim(self):
+        cache = make_cache(assoc=1)
+        sets = cache.num_sets
+        cache.fill(0, 0)
+        victim = cache.fill(sets, 0)
+        assert victim is not None and victim[0] == 0
+        assert cache.stats.evictions == 1
+
+
+class TestDirtyAndWriteback:
+    def test_dirty_eviction_counts_writeback(self):
+        cache = make_cache(assoc=1)
+        sets = cache.num_sets
+        cache.fill(0, 0)
+        cache.mark_dirty(0)
+        cache.fill(sets, 0)
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        cache = make_cache(assoc=1)
+        sets = cache.num_sets
+        cache.fill(0, 0)
+        cache.fill(sets, 0)
+        assert cache.stats.writebacks == 0
+
+
+class TestFillMerge:
+    def test_refill_lowers_ready_time(self):
+        cache = make_cache()
+        cache.fill(7, ready_cycle=100)
+        cache.fill(7, ready_cycle=50)
+        assert cache.lookup(7).ready_cycle == 50
+
+    def test_refill_does_not_raise_ready_time(self):
+        cache = make_cache()
+        cache.fill(7, ready_cycle=50)
+        cache.fill(7, ready_cycle=100)
+        assert cache.lookup(7).ready_cycle == 50
+
+
+class TestInvalidation:
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.fill(3, 0)
+        line = cache.invalidate(3)
+        assert line is not None
+        assert not cache.probe(3)
+        assert cache.stats.invalidations == 1
+
+    def test_invalidate_missing_is_noop(self):
+        cache = make_cache()
+        assert cache.invalidate(3) is None
+        assert cache.stats.invalidations == 0
+
+    def test_eviction_hook_fires(self):
+        cache = make_cache(assoc=1)
+        evicted = []
+        cache.eviction_hook = lambda addr, line: evicted.append(addr)
+        cache.fill(0, 0)
+        cache.fill(cache.num_sets, 0)
+        assert evicted == [0]
+
+
+class TestOccupancy:
+    def test_resident_lines_and_clear(self):
+        cache = make_cache()
+        for i in range(5):
+            cache.fill(i, 0)
+        assert cache.resident_lines() == 5
+        cache.clear()
+        assert cache.resident_lines() == 0
+
+    @given(addrs=st.lists(st.integers(min_value=0, max_value=4096),
+                          min_size=1, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_never_exceeds_capacity(self, addrs):
+        cache = make_cache(size=512, assoc=2, line=64)  # 8 lines total
+        for addr in addrs:
+            cache.fill(addr, 0)
+        assert cache.resident_lines() <= 8
+        # And every set respects associativity.
+        for cache_set in cache._sets:
+            assert len(cache_set) <= 2
+
+    @given(addrs=st.lists(st.integers(min_value=0, max_value=256),
+                          min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_most_recent_fill_always_present(self, addrs):
+        cache = make_cache(size=512, assoc=2, line=64)
+        for addr in addrs:
+            cache.fill(addr, 0)
+            assert cache.probe(addr)

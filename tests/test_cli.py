@@ -1,0 +1,75 @@
+"""CLI tests (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import FIGURES, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "mcf" in out
+    assert "hybrid" in out
+    assert "workloads" in out
+
+
+def test_run(capsys):
+    code = main(["run", "calculix", "--instructions", "500",
+                 "--warmup", "500"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "ipc" in out
+    assert "energy" in out
+
+
+def test_run_with_runahead_config(capsys):
+    code = main(["run", "mcf", "--config", "rab_cc",
+                 "--instructions", "1500", "--warmup", "2000"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "runahead intervals" in out
+    assert "chain cache" in out
+
+
+def test_compare(capsys):
+    code = main(["compare", "calculix", "--configs", "baseline", "runahead",
+                 "--instructions", "500", "--warmup", "500"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "baseline" in out and "runahead" in out
+    assert "speedup" in out
+
+
+def test_unknown_workload_raises():
+    with pytest.raises(ValueError):
+        main(["run", "nonexistent", "--instructions", "100"])
+
+
+def test_bad_config_rejected_by_argparse():
+    with pytest.raises(SystemExit):
+        main(["run", "mcf", "--config", "bogus"])
+
+
+def test_figure_table1(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code = main(["figure", "table1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert (tmp_path / "results" / "figures"
+            / "table1_configuration.txt").exists()
+
+
+def test_figure_registry_complete():
+    # Every evaluation figure and both tables are reachable from the CLI.
+    for fig in ("1", "2", "3", "4", "5", "9", "10", "11", "12", "13",
+                "14", "15", "16", "17", "18", "table1", "table2",
+                "headline"):
+        assert fig in FIGURES
+
+
+def test_figure_with_tiny_budget(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code = main(["figure", "table2", "--instructions", "400"])
+    assert code == 0
+    assert "Table 2" in capsys.readouterr().out

@@ -1,0 +1,134 @@
+"""Configuration tests: Table 1 defaults, validation, named configs."""
+
+import pytest
+
+from repro.config import (
+    CONFIG_BUILDERS,
+    RunaheadMode,
+    build_named_config,
+    default_system,
+    make_config,
+)
+
+
+class TestTable1Defaults:
+    def test_core(self, system_config):
+        core = system_config.core
+        assert core.width == 4
+        assert core.rob_size == 192
+        assert core.rs_size == 92
+        assert core.clock_ghz == pytest.approx(3.2)
+
+    def test_caches(self, system_config):
+        assert system_config.l1i.size_bytes == 32 * 1024
+        assert system_config.l1d.size_bytes == 32 * 1024
+        assert system_config.l1d.latency == 3
+        assert system_config.llc.size_bytes == 1024 * 1024
+        assert system_config.llc.latency == 18
+        assert system_config.llc.assoc == 8
+
+    def test_runahead_structures(self, system_config):
+        ra = system_config.runahead
+        assert ra.buffer_uops == 32
+        assert ra.chain_cache_entries == 2
+        assert ra.max_chain_length == 32
+        assert ra.runahead_cache_bytes == 512
+        assert ra.runahead_cache_assoc == 4
+        assert ra.mode is RunaheadMode.NONE
+
+    def test_storage_overhead_is_about_1_7kb(self, system_config):
+        """The paper estimates 1.7 kB total storage for the RAB system."""
+        ra = system_config.runahead
+        buffer_bytes = ra.buffer_uops * 8
+        chain_cache_bytes = ra.chain_cache_entries * 32 * 8
+        rob_uop_bytes = 4 * system_config.core.rob_size
+        bitvector = system_config.core.rob_size // 8
+        srsl = 16 * 2
+        total = (buffer_bytes + chain_cache_bytes + rob_uop_bytes
+                 + bitvector + srsl)
+        assert 1_400 <= total <= 2_000
+
+    def test_dram(self, system_config):
+        dram = system_config.dram
+        assert dram.channels == 2
+        assert dram.banks_per_channel == 8
+        assert dram.row_bytes == 8192
+        assert dram.queue_entries == 64
+        # CAS 13.75 ns at 3.2 GHz = 44 core cycles.
+        assert dram.t_cas == 44
+
+    def test_prefetcher(self, system_config):
+        pf = system_config.prefetcher
+        assert not pf.enabled
+        assert pf.num_streams == 32
+        assert pf.distance == 32
+        assert pf.degree == 2
+
+
+class TestValidation:
+    def test_default_validates(self, system_config):
+        system_config.validate()
+
+    def test_rejects_zero_width(self, system_config):
+        system_config.core.width = 0
+        with pytest.raises(ValueError):
+            system_config.validate()
+
+    def test_rejects_too_few_phys_regs(self, system_config):
+        system_config.core.num_phys_regs = 100
+        with pytest.raises(ValueError):
+            system_config.validate()
+
+    def test_rejects_chain_longer_than_buffer(self, system_config):
+        system_config.runahead.max_chain_length = 64
+        with pytest.raises(ValueError):
+            system_config.validate()
+
+    def test_rejects_bad_cache_geometry(self, system_config):
+        system_config.llc.size_bytes = 1000  # not divisible into sets
+        with pytest.raises(ValueError):
+            system_config.validate()
+
+
+class TestNamedConfigs:
+    def test_all_builders_valid(self):
+        for name in CONFIG_BUILDERS:
+            cfg = build_named_config(name)
+            cfg.validate()
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown config"):
+            build_named_config("warp_drive")
+
+    def test_pf_variants_enable_prefetcher(self):
+        assert build_named_config("pf").prefetcher.enabled
+        assert build_named_config("rab_cc_pf").prefetcher.enabled
+        assert not build_named_config("rab_cc").prefetcher.enabled
+
+    def test_modes(self):
+        assert build_named_config("runahead").runahead.mode \
+            is RunaheadMode.TRADITIONAL
+        assert build_named_config("rab").runahead.mode is RunaheadMode.BUFFER
+        assert build_named_config("rab_cc").runahead.mode \
+            is RunaheadMode.BUFFER_CHAIN_CACHE
+        assert build_named_config("hybrid").runahead.mode is RunaheadMode.HYBRID
+
+    def test_enhancements_flag(self):
+        assert build_named_config("runahead_enh").runahead.enhancements
+        assert not build_named_config("runahead").runahead.enhancements
+
+    def test_make_config_overrides(self):
+        cfg = make_config(RunaheadMode.BUFFER, buffer_uops=16,
+                          max_chain_length=16)
+        assert cfg.runahead.buffer_uops == 16
+
+    def test_make_config_rejects_invalid_override(self):
+        with pytest.raises(ValueError):
+            make_config(RunaheadMode.BUFFER, buffer_uops=8,
+                        max_chain_length=32)
+
+    def test_configs_are_independent(self):
+        a = build_named_config("baseline")
+        b = build_named_config("baseline")
+        a.core.rob_size = 10
+        assert b.core.rob_size == 192

@@ -1,0 +1,113 @@
+"""Dataflow tracker unit tests (the analytics behind Figs 2-5)."""
+
+from repro.core.dataflow import DataflowTracker
+from repro.core.stats import ChainAnalysis
+
+
+def note(tracker, seq, pc, producers=(), miss=False, runahead=False):
+    tracker.note_exec(seq, pc, tuple(producers), miss, runahead)
+
+
+class TestFig2Classification:
+    def test_independent_miss_is_onchip(self):
+        t = DataflowTracker()
+        note(t, 0, 10)            # an ALU producer
+        note(t, 1, 11, producers=[0], miss=True)
+        assert t.classify_demand_miss(1, (0,))
+        assert t.analysis.misses_source_onchip == 1
+
+    def test_miss_dependent_miss_is_offchip(self):
+        t = DataflowTracker()
+        note(t, 0, 10, miss=True)          # a missing load
+        note(t, 1, 11, producers=[0])      # address math from its data
+        assert not t.classify_demand_miss(2, (1,))
+        assert t.analysis.misses_source_offchip == 1
+
+    def test_deep_slice_traversal(self):
+        t = DataflowTracker()
+        note(t, 0, 1, miss=True)
+        for seq in range(1, 10):
+            note(t, seq, seq + 1, producers=[seq - 1])
+        assert not t.classify_demand_miss(10, (9,))
+
+    def test_unknown_producers_ignored(self):
+        t = DataflowTracker()
+        assert t.classify_demand_miss(5, (-1, 999))
+
+
+class TestIntervalChains:
+    def _interval_with_two_misses(self):
+        t = DataflowTracker()
+        t.begin_interval()
+        # Iteration 1: induction (pc 0) -> load (pc 1, miss).
+        note(t, 0, 0, runahead=True)
+        note(t, 1, 1, producers=[0], miss=True, runahead=True)
+        # Filler not on any chain.
+        note(t, 2, 5, runahead=True)
+        # Iteration 2: same static chain.
+        note(t, 3, 0, producers=[0], runahead=True)
+        note(t, 4, 1, producers=[3], miss=True, runahead=True)
+        t.end_interval()
+        return t.analysis
+
+    def test_repeated_chain_detected(self):
+        analysis = self._interval_with_two_misses()
+        assert analysis.unique_chains == 1
+        assert analysis.repeated_chains == 1
+        assert analysis.repeated_fraction == 0.5
+
+    def test_chain_length_is_one_loop_body(self):
+        analysis = self._interval_with_two_misses()
+        assert analysis.mean_chain_length == 2.0
+
+    def test_ops_on_chain_fraction(self):
+        analysis = self._interval_with_two_misses()
+        # 4 of 5 executed ops are on some chain (the filler is not).
+        assert analysis.runahead_ops_executed == 5
+        assert analysis.runahead_ops_on_chains == 4
+        assert abs(analysis.chain_op_fraction - 0.8) < 1e-9
+
+    def test_slice_stops_at_repeated_static_pc(self):
+        t = DataflowTracker()
+        t.begin_interval()
+        # A long induction history: pc 0 executed 10 times.
+        note(t, 0, 0, runahead=True)
+        for seq in range(1, 10):
+            note(t, seq, 0, producers=[seq - 1], runahead=True)
+        note(t, 10, 1, producers=[9], miss=True, runahead=True)
+        t.end_interval()
+        # Chain = miss + ONE induction instance, not all ten.
+        assert t.analysis.mean_chain_length == 2.0
+
+    def test_non_runahead_ops_excluded(self):
+        t = DataflowTracker()
+        t.begin_interval()
+        note(t, 0, 0, runahead=False)   # normal-mode op
+        note(t, 1, 1, miss=True, runahead=True)
+        t.end_interval()
+        assert t.analysis.runahead_ops_executed == 1
+
+    def test_end_without_begin_is_noop(self):
+        t = DataflowTracker()
+        t.end_interval()
+        assert t.analysis.chain_count == 0
+
+    def test_window_bounded(self):
+        t = DataflowTracker()
+        for seq in range(10_000):
+            note(t, seq, seq % 7)
+        assert len(t._records) <= 8192
+
+
+class TestChainAnalysisDerived:
+    def test_empty_defaults(self):
+        a = ChainAnalysis()
+        assert a.source_onchip_fraction == 1.0
+        assert a.chain_op_fraction == 0.0
+        assert a.repeated_fraction == 0.0
+        assert a.mean_chain_length == 0.0
+
+    def test_to_dict(self):
+        a = ChainAnalysis(misses_source_onchip=3, misses_source_offchip=1)
+        d = a.to_dict()
+        assert d["source_onchip_fraction"] == 0.75

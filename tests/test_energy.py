@@ -1,0 +1,86 @@
+"""Energy model tests: arithmetic, breakdown, calibration properties."""
+
+import pytest
+
+from repro.config import EnergyConfig, default_system, make_config
+from repro.core import simulate
+from repro.energy import EnergyModel, EnergyReport
+
+
+def make_model():
+    return EnergyModel(EnergyConfig(), clock_ghz=3.2)
+
+
+class TestArithmetic:
+    def test_zero_events_zero_cycles(self):
+        report = make_model().compute({}, cycles=0)
+        assert report.total == 0.0
+
+    def test_leakage_scales_with_time(self):
+        model = make_model()
+        one = model.compute({}, cycles=3_200_000_000)  # one second
+        assert one.core_leakage == pytest.approx(EnergyConfig().core_leakage_w)
+        assert one.dram_background == pytest.approx(
+            EnergyConfig().dram_background_w)
+
+    def test_event_energy_accumulates(self):
+        model = make_model()
+        cfg = EnergyConfig()
+        report = model.compute({"fetch": 1000}, cycles=0)
+        assert report.frontend_dynamic == pytest.approx(
+            1000 * cfg.fetch_pj * 1e-12)
+
+    def test_unknown_events_ignored(self):
+        report = make_model().compute({"quantum_flux": 10**9}, cycles=0)
+        assert report.total == 0.0
+
+    def test_breakdown_sums_to_total(self):
+        events = {"fetch": 100, "decode": 100, "rename": 100, "alu": 50,
+                  "l1d_access": 30, "dram_access": 5, "pc_cam": 2}
+        report = make_model().compute(events, cycles=10_000)
+        parts = (report.frontend_dynamic + report.backend_dynamic
+                 + report.runahead_dynamic + report.cache_dynamic
+                 + report.dram_dynamic + report.core_leakage
+                 + report.dram_background)
+        assert report.total == pytest.approx(parts)
+
+    def test_to_dict_fields(self):
+        report = make_model().compute({"fetch": 1}, cycles=100)
+        d = report.to_dict()
+        for key in ("total", "frontend_dynamic", "core_dynamic",
+                    "exec_seconds"):
+            assert key in d
+
+
+class TestCalibration:
+    def test_frontend_fraction_near_40pct(self):
+        """The paper's calibration point: front-end ~40% of core dynamic
+        power on a typical baseline run."""
+        result = simulate("milc", make_config(), max_instructions=3000)
+        report = result.energy
+        fraction = report.frontend_fraction_of_core_dynamic
+        assert 0.25 <= fraction <= 0.55
+
+    def test_rab_spends_less_frontend_energy_than_runahead(self):
+        from repro.config import RunaheadMode
+        ra = simulate("mcf", make_config(RunaheadMode.TRADITIONAL),
+                      max_instructions=3000)
+        rab = simulate("mcf", make_config(RunaheadMode.BUFFER),
+                       max_instructions=3000)
+        assert rab.energy.frontend_dynamic < ra.energy.frontend_dynamic
+
+    def test_runahead_buffer_pays_cam_energy(self):
+        from repro.config import RunaheadMode
+        rab = simulate("mcf", make_config(RunaheadMode.BUFFER),
+                       max_instructions=3000)
+        assert rab.energy.runahead_dynamic > 0
+        events = rab.stats.energy_events
+        assert events.get("pc_cam", 0) > 0
+        assert events.get("destreg_cam", 0) > 0
+        assert events.get("rab_read", 0) > 0
+
+    def test_chain_cache_events_counted(self):
+        from repro.config import RunaheadMode
+        cc = simulate("mcf", make_config(RunaheadMode.BUFFER_CHAIN_CACHE),
+                      max_instructions=3000)
+        assert cc.stats.energy_events.get("chain_cache_read", 0) > 0

@@ -1,0 +1,62 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation; a broken example is a broken promise.  Each
+script is executed in-process (imported as ``__main__``-style) with small
+argv budgets so the whole file stays fast.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str], capsys) -> str:
+    script = EXAMPLES / name
+    assert script.exists(), script
+    old_argv = sys.argv
+    sys.argv = [str(script)] + argv
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", ["mcf", "2000"], capsys)
+    assert "runahead buffer" in out
+    assert "speedup" in out
+
+
+def test_chain_anatomy(capsys):
+    out = run_example("chain_anatomy.py", [], capsys)
+    assert "extracted chain" in out
+    assert "on the dependence chain" in out
+
+
+def test_memory_wall(capsys):
+    out = run_example("memory_wall.py", [], capsys)
+    assert "list walk" in out
+    assert "gather" in out
+
+
+def test_custom_workload(capsys):
+    out = run_example("custom_workload.py", [], capsys)
+    assert "best policy" in out
+    assert "chain cache" in out
+
+
+def test_energy_breakdown(capsys):
+    out = run_example("energy_breakdown.py", ["mcf"], capsys)
+    assert "front-end" in out
+    assert "clock-gating" in out
+
+
+def test_interval_timeline(capsys):
+    out = run_example("interval_timeline.py", ["mcf", "2000"], capsys)
+    assert "intervals" in out
+    assert "committed instructions" in out

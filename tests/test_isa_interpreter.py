@@ -1,0 +1,123 @@
+"""Reference interpreter tests (the golden model)."""
+
+import pytest
+
+from repro.isa import DataMemory, Interpreter, ProgramBuilder
+
+from util import build_counted_loop, build_sum_array, make_memory_with_array
+
+
+def run_to_halt(program, memory=None, max_insts=100_000):
+    interp = Interpreter(program, memory)
+    for _ in interp.run(max_insts):
+        pass
+    return interp
+
+
+def test_counted_loop_runs_expected_iterations():
+    interp = run_to_halt(build_counted_loop(10))
+    assert interp.halted
+    assert interp.regs[1] == 10
+    # 2 setup + 10 * (addi + bne) + halt
+    assert interp.retired == 2 + 20 + 1
+
+
+def test_sum_array():
+    values = [3, 1, 4, 1, 5, 9, 2, 6]
+    memory = make_memory_with_array(0x1000, values)
+    interp = run_to_halt(build_sum_array(0x1000, len(values)), memory)
+    assert interp.regs[5] == sum(values)
+
+
+def test_store_then_load():
+    b = ProgramBuilder()
+    b.li("R1", 0x2000)
+    b.li("R2", 77)
+    b.store("R2", "R1", 0)
+    b.load("R3", "R1", 0)
+    b.halt()
+    interp = run_to_halt(b.build())
+    assert interp.regs[3] == 77
+    assert interp.memory.load(0x2000) == 77
+
+
+def test_call_and_return():
+    b = ProgramBuilder()
+    b.call("func")
+    b.li("R2", 2)         # executed after return
+    b.halt()
+    b.label("func")
+    b.li("R1", 1)
+    b.ret()
+    interp = run_to_halt(b.build())
+    assert interp.regs[1] == 1
+    assert interp.regs[2] == 2
+    assert interp.halted
+
+
+def test_indirect_jump():
+    b = ProgramBuilder()
+    b.li("R1", 3)
+    b.jr("R1")
+    b.li("R2", 99)        # skipped
+    b.halt()
+    interp = run_to_halt(b.build())
+    assert interp.regs[2] == 0
+
+
+def test_zero_register_is_immutable():
+    b = ProgramBuilder()
+    b.li("R0", 55)
+    b.add("R1", "R0", "R0")
+    b.halt()
+    interp = run_to_halt(b.build())
+    assert interp.regs[0] == 0
+    assert interp.regs[1] == 0
+
+
+def test_run_respects_instruction_budget():
+    b = ProgramBuilder()
+    b.label("spin")
+    b.jmp("spin")
+    interp = Interpreter(b.build())
+    count = sum(1 for _ in interp.run(500))
+    assert count == 500
+    assert not interp.halted
+
+
+def test_step_after_halt_raises():
+    b = ProgramBuilder()
+    b.halt()
+    interp = run_to_halt(b.build())
+    with pytest.raises(RuntimeError):
+        interp.step()
+
+
+def test_retired_op_records_memory_access():
+    b = ProgramBuilder()
+    b.li("R1", 0x3000)
+    b.load("R2", "R1", 8)
+    b.halt()
+    interp = Interpreter(b.build(), DataMemory(default_fill="zero"))
+    ops = list(interp.run(10))
+    load_op = ops[1]
+    assert load_op.mem_addr == 0x3008
+    assert load_op.dest_value == 0
+
+
+def test_retired_op_records_branch_outcome():
+    b = ProgramBuilder()
+    b.li("R1", 1)
+    b.beq("R1", "R0", "skip")
+    b.label("skip")
+    b.halt()
+    interp = Interpreter(b.build())
+    ops = list(interp.run(10))
+    assert ops[1].taken is False
+
+
+def test_init_regs_validation():
+    b = ProgramBuilder()
+    b.halt()
+    with pytest.raises(ValueError):
+        Interpreter(b.build(), regs=[0] * 3)

@@ -1,0 +1,49 @@
+"""Tests for architectural register naming/indexing."""
+
+import pytest
+
+from repro.isa import LINK_REG, NUM_ARCH_REGS, ZERO_REG, reg_index, reg_name
+
+
+def test_register_count():
+    assert NUM_ARCH_REGS == 32
+
+
+def test_zero_and_link_registers():
+    assert ZERO_REG == 0
+    assert LINK_REG == 31
+
+
+def test_reg_index_accepts_names():
+    assert reg_index("R0") == 0
+    assert reg_index("R31") == 31
+    assert reg_index("r7") == 7  # case-insensitive
+
+
+def test_reg_index_accepts_integers():
+    for i in range(NUM_ARCH_REGS):
+        assert reg_index(i) == i
+
+
+def test_reg_index_rejects_unknown_name():
+    with pytest.raises(ValueError):
+        reg_index("R32")
+    with pytest.raises(ValueError):
+        reg_index("X5")
+
+
+def test_reg_index_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        reg_index(32)
+    with pytest.raises(ValueError):
+        reg_index(-1)
+
+
+def test_reg_name_roundtrip():
+    for i in range(NUM_ARCH_REGS):
+        assert reg_index(reg_name(i)) == i
+
+
+def test_reg_name_out_of_range():
+    with pytest.raises(ValueError):
+        reg_name(32)

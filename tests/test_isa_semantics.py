@@ -1,0 +1,162 @@
+"""Functional semantics tests, including 64-bit wrap-around properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (
+    MASK64,
+    DataMemory,
+    Instruction,
+    Opcode,
+    alu_result,
+    branch_taken,
+    branch_target,
+    mem_address,
+    to_signed,
+    to_unsigned,
+)
+
+u64 = st.integers(min_value=0, max_value=MASK64)
+
+
+def _alu(op, a=0, b=0, imm=0):
+    return alu_result(Instruction(op, rd=1, rs1=2, rs2=3, imm=imm), a, b)
+
+
+class TestAluSemantics:
+    def test_add_wraps(self):
+        assert _alu(Opcode.ADD, MASK64, 1) == 0
+
+    def test_sub_wraps(self):
+        assert _alu(Opcode.SUB, 0, 1) == MASK64
+
+    def test_logic_ops(self):
+        assert _alu(Opcode.AND, 0b1100, 0b1010) == 0b1000
+        assert _alu(Opcode.OR, 0b1100, 0b1010) == 0b1110
+        assert _alu(Opcode.XOR, 0b1100, 0b1010) == 0b0110
+
+    def test_shifts_mask_amount(self):
+        assert _alu(Opcode.SHL, 1, 64) == 1     # shift amount is mod 64
+        assert _alu(Opcode.SHL, 1, 4) == 16
+        assert _alu(Opcode.SHR, 256, 4) == 16
+
+    def test_immediates(self):
+        assert _alu(Opcode.ADDI, 5, imm=7) == 12
+        assert _alu(Opcode.ANDI, 0xFF, imm=0x0F) == 0x0F
+        assert _alu(Opcode.LI, imm=42) == 42
+
+    def test_mov(self):
+        assert _alu(Opcode.MOV, 99) == 99
+
+    def test_mul_wraps(self):
+        assert _alu(Opcode.MUL, 1 << 63, 2) == 0
+
+    def test_div_signed(self):
+        minus_six = to_unsigned(-6)
+        assert to_signed(_alu(Opcode.DIV, minus_six, 2)) == -3
+
+    def test_div_by_zero_yields_zero(self):
+        assert _alu(Opcode.DIV, 10, 0) == 0
+
+    def test_fp_ops_evaluate_as_integers(self):
+        assert _alu(Opcode.FADD, 2, 3) == 5
+        assert _alu(Opcode.FMUL, 2, 3) == 6
+
+    def test_non_alu_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            _alu(Opcode.LD)
+
+    @given(a=u64, b=u64)
+    def test_results_always_64bit(self, a, b):
+        for op in (Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.XOR,
+                   Opcode.SHL, Opcode.SHR):
+            assert 0 <= _alu(op, a, b) <= MASK64
+
+    @given(a=u64)
+    def test_signed_unsigned_roundtrip(self, a):
+        assert to_unsigned(to_signed(a)) == a
+
+
+class TestBranches:
+    def _branch(self, op, a, b):
+        return branch_taken(Instruction(op, rs1=1, rs2=2, target=9), a, b)
+
+    def test_beq_bne(self):
+        assert self._branch(Opcode.BEQ, 4, 4)
+        assert not self._branch(Opcode.BEQ, 4, 5)
+        assert self._branch(Opcode.BNE, 4, 5)
+
+    def test_blt_bge_are_signed(self):
+        minus_one = to_unsigned(-1)
+        assert self._branch(Opcode.BLT, minus_one, 0)
+        assert self._branch(Opcode.BGE, 0, minus_one)
+
+    def test_target_taken_and_fallthrough(self):
+        inst = Instruction(Opcode.BEQ, rs1=1, rs2=2, target=40)
+        assert branch_target(inst, 10, 0, taken=True) == 40
+        assert branch_target(inst, 10, 0, taken=False) == 11
+
+    def test_indirect_target(self):
+        inst = Instruction(Opcode.JR, rs1=1)
+        assert branch_target(inst, 10, 1234, taken=True) == 1234
+
+    def test_jmp_and_call_target(self):
+        for op in (Opcode.JMP, Opcode.CALL):
+            inst = Instruction(op, rd=31, target=7)
+            assert branch_target(inst, 0, 0, taken=True) == 7
+
+
+class TestMemAddress:
+    def test_offset(self):
+        inst = Instruction(Opcode.LD, rd=1, rs1=2, imm=16)
+        assert mem_address(inst, 100) == 116
+
+    def test_negative_offset_wraps(self):
+        inst = Instruction(Opcode.LD, rd=1, rs1=2, imm=-8)
+        assert mem_address(inst, 0) == MASK64 - 7
+
+
+class TestDataMemory:
+    def test_store_load_roundtrip(self):
+        mem = DataMemory()
+        mem.store(0x1000, 42)
+        assert mem.load(0x1000) == 42
+
+    def test_word_aligned(self):
+        mem = DataMemory()
+        mem.store(0x1000, 42)
+        # Any address within the same 8-byte word reads the same value.
+        assert mem.load(0x1003) == 42
+        assert mem.load(0x1007) == 42
+
+    def test_uninitialized_is_deterministic_junk(self):
+        a = DataMemory()
+        b = DataMemory()
+        assert a.load(0x5000) == b.load(0x5000)
+        assert a.load(0x5000) != a.load(0x5008)
+
+    def test_zero_fill_mode(self):
+        mem = DataMemory(default_fill="zero")
+        assert mem.load(0x9999) == 0
+
+    def test_bad_fill_mode(self):
+        with pytest.raises(ValueError):
+            DataMemory(default_fill="random")
+
+    def test_values_masked_to_64bit(self):
+        mem = DataMemory()
+        mem.store(0, 1 << 70)
+        assert mem.load(0) == ((1 << 70) & MASK64)
+
+    @given(addr=st.integers(min_value=0, max_value=2**48), value=u64)
+    def test_roundtrip_property(self, addr, value):
+        mem = DataMemory()
+        mem.store(addr, value)
+        assert mem.load(addr) == value
+
+    def test_len_and_snapshot(self):
+        mem = DataMemory()
+        mem.store(0, 1)
+        mem.store(64, 2)
+        assert len(mem) == 2
+        assert mem.snapshot() == {0: 1, 8: 2}

@@ -1,0 +1,46 @@
+"""Memory controller (queue) tests."""
+
+from repro.config import DramConfig
+from repro.memory import MemoryController
+
+
+def test_request_completes_after_controller_latency():
+    cfg = DramConfig()
+    ctrl = MemoryController(cfg)
+    done = ctrl.request(0, now=0)
+    assert done >= cfg.controller_latency
+
+
+def test_occupancy_tracks_inflight():
+    ctrl = MemoryController(DramConfig())
+    ctrl.request(0, now=0)
+    ctrl.request(2, now=0)
+    assert ctrl.occupancy(0) == 2
+    assert ctrl.occupancy(10**9) == 0
+
+
+def test_queue_full_delays_speculative_requests():
+    cfg = DramConfig(queue_entries=4)
+    ctrl = MemoryController(cfg)
+    for i in range(4):
+        ctrl.request(i * 64, now=0, kind="prefetch")
+    before = ctrl.queue_full_delays
+    ctrl.request(999, now=0, kind="prefetch")
+    assert ctrl.queue_full_delays == before + 1
+    assert ctrl.total_queue_wait > 0
+
+
+def test_demand_requests_bypass_full_queue():
+    cfg = DramConfig(queue_entries=2)
+    ctrl = MemoryController(cfg)
+    for i in range(4):
+        ctrl.request(i * 64, now=0, kind="runahead")
+    before = ctrl.queue_full_delays
+    ctrl.request(999, now=0, kind="demand")
+    assert ctrl.queue_full_delays == before
+
+
+def test_stats_exposed():
+    ctrl = MemoryController(DramConfig())
+    ctrl.request(0, now=0)
+    assert ctrl.stats.requests == 1

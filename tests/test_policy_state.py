@@ -1,0 +1,77 @@
+"""Runahead policy state: entry filters and interval bookkeeping."""
+
+from repro.config import RunaheadConfig, RunaheadMode
+from repro.runahead import RunaheadPolicyState
+
+
+def make_policy(**overrides):
+    cfg = RunaheadConfig(mode=RunaheadMode.TRADITIONAL, enhancements=True,
+                         **overrides)
+    return RunaheadPolicyState(cfg)
+
+
+class TestEnhancementFilters:
+    def test_allows_fresh_miss(self):
+        policy = make_policy()
+        assert policy.enhancements_allow(committed_total=1000,
+                                         miss_issue_retired=950)
+
+    def test_policy1_blocks_stale_miss(self):
+        """A miss issued >= 250 instructions ago: interval would be short."""
+        policy = make_policy()
+        assert not policy.enhancements_allow(committed_total=1000,
+                                             miss_issue_retired=700)
+        assert policy.entries_blocked_short == 1
+
+    def test_policy1_threshold_configurable(self):
+        policy = make_policy(enhancement_distance=500)
+        assert policy.enhancements_allow(committed_total=1000,
+                                         miss_issue_retired=700)
+
+    def test_policy1_skipped_when_unknown(self):
+        policy = make_policy()
+        assert policy.enhancements_allow(committed_total=1000,
+                                         miss_issue_retired=-1)
+
+    def test_policy2_blocks_overlapping_interval(self):
+        """Execution has not passed the last interval's furthest point."""
+        policy = make_policy()
+        policy.begin_interval("traditional", now=0)
+        policy.end_interval(now=100, committed_total=1000, pseudo_retired=400)
+        assert not policy.enhancements_allow(committed_total=1200,
+                                             miss_issue_retired=1150)
+        assert policy.entries_blocked_overlap == 1
+        assert policy.enhancements_allow(committed_total=1500,
+                                         miss_issue_retired=1450)
+
+
+class TestIntervals:
+    def test_interval_lifecycle(self):
+        policy = make_policy()
+        record = policy.begin_interval("buffer", now=10, chain_gen_cycles=3,
+                                       used_chain_cache=True)
+        record.misses_generated = 7
+        policy.end_interval(now=60, committed_total=500, pseudo_retired=120)
+        assert policy.current is None
+        assert policy.interval_count() == 1
+        assert policy.interval_count("buffer") == 1
+        assert policy.interval_count("traditional") == 0
+        assert policy.cycles_in("buffer") == 50
+        assert policy.misses_per_interval("buffer") == 7.0
+
+    def test_furthest_point_monotonic(self):
+        policy = make_policy()
+        policy.begin_interval("traditional", now=0)
+        policy.end_interval(now=10, committed_total=100, pseudo_retired=300)
+        policy.begin_interval("traditional", now=20)
+        policy.end_interval(now=30, committed_total=150, pseudo_retired=10)
+        assert policy.last_furthest_instruction == 400
+
+    def test_end_without_begin_is_noop(self):
+        policy = make_policy()
+        policy.end_interval(now=10, committed_total=1, pseudo_retired=1)
+        assert policy.interval_count() == 0
+
+    def test_misses_per_interval_empty(self):
+        policy = make_policy()
+        assert policy.misses_per_interval() == 0.0

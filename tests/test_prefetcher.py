@@ -1,0 +1,100 @@
+"""Stream prefetcher + FDP throttling tests."""
+
+from repro.config import PrefetcherConfig
+from repro.prefetch import StreamPrefetcher
+
+
+def make_pf(**overrides):
+    defaults = dict(enabled=True, fdp_enabled=False)
+    defaults.update(overrides)
+    return StreamPrefetcher(PrefetcherConfig(**defaults))
+
+
+def drive_stream(pf, start, count, step=1, hit=False):
+    out = []
+    for i in range(count):
+        out.extend(pf.on_demand_access(start + i * step, hit=hit))
+    return out
+
+
+class TestTraining:
+    def test_no_prefetch_before_confirmation(self):
+        pf = make_pf()
+        assert pf.on_demand_access(100, hit=False) == []
+        # Second access establishes direction but needs train_threshold.
+        assert pf.on_demand_access(101, hit=False) == []
+
+    def test_ascending_stream_detected(self):
+        pf = make_pf()
+        issued = drive_stream(pf, 100, 6)
+        assert issued
+        assert all(line > 100 for line in issued)
+
+    def test_descending_stream_detected(self):
+        pf = make_pf()
+        issued = drive_stream(pf, 200, 6, step=-1)
+        assert issued
+        assert all(line < 200 for line in issued)
+
+    def test_prefetches_stay_within_distance(self):
+        pf = make_pf(distance=8, degree=2)
+        issued = drive_stream(pf, 100, 20)
+        for i, line in enumerate(issued):
+            assert line <= 100 + 20 + 8
+
+    def test_no_duplicate_prefetches(self):
+        pf = make_pf()
+        issued = drive_stream(pf, 100, 30)
+        assert len(issued) == len(set(issued))
+
+    def test_degree_limits_burst(self):
+        pf = make_pf(degree=2)
+        drive_stream(pf, 100, 3)          # training
+        burst = pf.on_demand_access(103, hit=False)
+        assert len(burst) <= 2
+
+    def test_random_accesses_do_not_stream(self):
+        pf = make_pf()
+        issued = []
+        for line in (5, 9000, 12, 777_000, 34, 51_000):
+            issued.extend(pf.on_demand_access(line, hit=False))
+        assert issued == []
+
+    def test_stream_table_capacity(self):
+        pf = make_pf(num_streams=4)
+        for k in range(10):
+            pf.on_demand_access(k * 100_000, hit=False)
+        assert len(pf.streams) <= 4
+
+
+class TestFdp:
+    def test_high_accuracy_scales_up(self):
+        pf = make_pf(fdp_enabled=True, fdp_interval=16)
+        level0 = pf._level
+        drive_stream(pf, 0, 40)
+        for _ in range(40):
+            pf.record_useful()
+        drive_stream(pf, 1000, 40)
+        assert pf._level >= level0
+
+    def test_low_accuracy_scales_down(self):
+        pf = make_pf(fdp_enabled=True, fdp_interval=16)
+        level0 = pf._level
+        for round_index in range(4):
+            drive_stream(pf, round_index * 100_000, 40)
+            for _ in range(200):
+                pf.record_unused_eviction()
+        assert pf.stats.throttle_downs >= 1
+        assert pf._level < level0
+
+    def test_accuracy_stat(self):
+        pf = make_pf()
+        pf.record_useful()
+        pf.record_useful()
+        pf.record_unused_eviction()
+        assert abs(pf.stats.accuracy - 2 / 3) < 1e-9
+
+    def test_late_prefetches_counted(self):
+        pf = make_pf()
+        pf.record_useful(late=True)
+        assert pf.stats.late == 1

@@ -1,0 +1,51 @@
+"""Suite-wide correctness sweep: every SPEC06-like workload, under every
+runahead mode, must commit exactly the reference interpreter's path.
+
+This is the heavyweight end-to-end guarantee behind the evaluation: no
+figure is built on a simulation whose architectural semantics drifted.
+A representative subset runs by default (full suite x modes would take
+minutes); the subset covers every kernel family.
+"""
+
+import pytest
+
+from repro.config import RunaheadMode, make_config
+from repro.core import Processor
+from repro.isa import Interpreter
+from repro.workloads import build_workload
+
+# One representative per kernel family + the paper's star benchmarks.
+REPRESENTATIVES = (
+    "mcf",          # gather + store
+    "libquantum",   # pure stream + store
+    "zeusmp",       # segmented stencil
+    "omnetpp",      # hash probe, long chains, data-dependent branches
+    "sphinx3",      # dependent walk
+    "gcc",          # branchy compute with occasional far misses
+)
+
+MODES = (
+    RunaheadMode.TRADITIONAL,
+    RunaheadMode.BUFFER,
+    RunaheadMode.HYBRID,
+)
+
+
+@pytest.mark.parametrize("workload_name", REPRESENTATIVES)
+@pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
+def test_workload_commits_reference_path(workload_name, mode):
+    workload = build_workload(workload_name)
+    processor = Processor(workload.program, make_config(mode),
+                          memory=workload.memory)
+    processor.warm_up(2_000)
+
+    processor.run(1_500)
+
+    reference = build_workload(workload_name)
+    interp = Interpreter(reference.program, reference.memory)
+    # Replay the warm-up plus exactly the committed instructions.
+    for _ in interp.run(2_000 + processor.committed):
+        pass
+
+    assert processor.rename.arch_values() == interp.regs
+    assert processor.memory.snapshot() == interp.memory.snapshot()

@@ -1,0 +1,69 @@
+"""Public `simulate()` API tests."""
+
+import pytest
+
+from repro import (
+    ProgramBuilder,
+    RunaheadMode,
+    Workload,
+    build_workload,
+    make_config,
+    simulate,
+)
+
+
+def test_simulate_by_name():
+    result = simulate("calculix", make_config(), max_instructions=500,
+                      warmup_instructions=500)
+    assert result.stats.committed_insts >= 500
+    assert result.ipc > 0
+    assert result.stats.workload == "calculix"
+
+
+def test_simulate_bare_program():
+    b = ProgramBuilder()
+    b.label("spin")
+    b.addi("R1", "R1", 1)
+    b.jmp("spin")
+    result = simulate(b.build(name="spin"), max_instructions=300,
+                      warmup_instructions=0)
+    assert result.stats.committed_insts >= 300
+
+
+def test_simulate_workload_object():
+    workload = build_workload("mcf")
+    assert isinstance(workload, Workload)
+    result = simulate(workload, make_config(), max_instructions=400,
+                      warmup_instructions=400)
+    assert result.stats.committed_insts >= 400
+
+
+def test_energy_report_attached():
+    result = simulate("calculix", make_config(), max_instructions=400,
+                      warmup_instructions=400)
+    assert result.energy.total > 0
+    assert result.stats.energy_report["total"] == result.energy.total
+
+
+def test_config_name_recorded():
+    result = simulate("calculix", make_config(), max_instructions=300,
+                      warmup_instructions=0, config_name="baseline")
+    assert result.stats.config_name == "baseline"
+
+
+def test_default_config_is_baseline():
+    result = simulate("calculix", max_instructions=300,
+                      warmup_instructions=0)
+    assert result.stats.runahead_intervals == 0
+
+
+def test_runahead_mode_flows_through():
+    result = simulate("mcf", make_config(RunaheadMode.BUFFER),
+                      max_instructions=1500, warmup_instructions=2000)
+    assert result.stats.rab_intervals > 0
+
+
+def test_max_cycles_cap():
+    result = simulate("mcf", make_config(), max_instructions=10**9,
+                      warmup_instructions=0, max_cycles=2000)
+    assert result.stats.cycles <= 2100

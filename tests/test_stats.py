@@ -1,0 +1,80 @@
+"""SimStats derived-metric tests."""
+
+import json
+
+from repro.core.stats import ChainAnalysis, SimStats
+
+
+def make_stats(**overrides):
+    stats = SimStats()
+    for key, value in overrides.items():
+        setattr(stats, key, value)
+    return stats
+
+
+class TestDerivedMetrics:
+    def test_ipc(self):
+        assert make_stats(committed_insts=100, cycles=200).ipc == 0.5
+        assert make_stats(cycles=0).ipc == 0.0
+
+    def test_mpki(self):
+        stats = make_stats(committed_insts=2000, llc_demand_misses=30)
+        assert stats.mpki == 15.0
+        assert make_stats().mpki == 0.0
+
+    def test_memstall_fraction(self):
+        stats = make_stats(cycles=100, memstall_cycles=40)
+        assert stats.memstall_fraction == 0.4
+
+    def test_branch_accuracy(self):
+        stats = make_stats(cond_branches=100, cond_mispredicts=8)
+        assert stats.branch_accuracy == 0.92
+        assert make_stats().branch_accuracy == 1.0
+
+    def test_dram_requests(self):
+        assert make_stats(dram_reads=5, dram_writes=3).dram_requests == 8
+
+    def test_runahead_cycle_fractions(self):
+        stats = make_stats(cycles=100, cycles_in_rab=25,
+                           cycles_in_traditional=25)
+        assert stats.rab_cycle_fraction == 0.25
+        assert stats.runahead_cycle_fraction == 0.5
+        assert stats.hybrid_rab_share == 0.5
+
+    def test_hybrid_share_without_runahead(self):
+        assert make_stats().hybrid_rab_share == 0.0
+
+    def test_chain_cache_metrics(self):
+        stats = make_stats(chain_cache_hits=9, chain_cache_misses=1,
+                           chain_cache_checked_hits=4,
+                           chain_cache_exact_hits=3)
+        assert stats.chain_cache_hit_rate == 0.9
+        assert stats.chain_cache_exact_fraction == 0.75
+
+    def test_misses_per_interval(self):
+        stats = make_stats(runahead_intervals=4,
+                           runahead_misses_generated=20)
+        assert stats.misses_per_interval == 5.0
+        assert make_stats().misses_per_interval == 0.0
+
+    def test_total_energy_default(self):
+        assert make_stats().total_energy_j == 0.0
+
+
+class TestSerialization:
+    def test_to_dict_contains_everything(self):
+        stats = make_stats(workload="x", cycles=10, committed_insts=5)
+        stats.chains = ChainAnalysis(misses_source_onchip=1)
+        d = stats.to_dict()
+        assert d["workload"] == "x"
+        assert d["ipc"] == 0.5
+        assert d["chains"]["misses_source_onchip"] == 1
+        json.dumps(d)
+
+    def test_dict_has_all_derived_fields(self):
+        d = make_stats().to_dict()
+        for key in ("ipc", "mpki", "memstall_fraction", "dram_requests",
+                    "branch_accuracy", "rab_cycle_fraction",
+                    "hybrid_rab_share", "chain_cache_hit_rate",
+                    "misses_per_interval", "total_energy_j"):
+            assert key in d

@@ -1,0 +1,59 @@
+"""Sensitivity-sweep machinery tests."""
+
+import pytest
+
+from repro.analysis.sweeps import (
+    CANNED_SWEEPS,
+    SweepPoint,
+    buffer_size_sweep,
+    run_named_sweep,
+    run_sweep,
+    sweep_table,
+)
+from repro.config import RunaheadMode, make_config
+
+
+def test_run_sweep_structure():
+    points = run_sweep(
+        lambda n: make_config(RunaheadMode.BUFFER, buffer_uops=n,
+                              max_chain_length=n),
+        values=[16, 32],
+        benches=("mcf",),
+        instructions=1200,
+        warmup=2000,
+    )
+    assert len(points) == 2
+    assert all(isinstance(p, SweepPoint) for p in points)
+    assert points[0].value == 16
+    assert "mcf" in points[0].per_bench
+
+
+def test_sweep_table_rendering():
+    points = [SweepPoint(8, 10.0, {"mcf": 10.0}),
+              SweepPoint(16, 12.0, {"mcf": 12.0})]
+    table = sweep_table("demo", "size", points)
+    assert table.headers == ["size", "gmean_pct", "mcf"]
+    assert len(table.rows) == 2
+
+
+def test_buffer_size_sweep_positive_gains():
+    points = buffer_size_sweep(sizes=(32,), benches=("mcf",),
+                               instructions=1500, warmup=2000)
+    assert points[0].speedup_pct > 0
+
+
+def test_run_named_sweep():
+    table = run_named_sweep("runahead-cache", benches=("mcf",),
+                            instructions=1200)
+    assert len(table.rows) == 2
+
+
+def test_unknown_sweep_rejected():
+    with pytest.raises(ValueError, match="unknown sweep"):
+        run_named_sweep("voltage")
+
+
+def test_canned_registry():
+    for name in ("buffer-size", "chain-cache", "search-bandwidth",
+                 "rob-size", "runahead-cache"):
+        assert name in CANNED_SWEEPS

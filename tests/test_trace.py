@@ -1,0 +1,98 @@
+"""Commit trace and interval timeline tests."""
+
+import pytest
+
+from repro.config import RunaheadMode, default_system, make_config
+from repro.core import CommitTrace, Processor, render_interval_timeline
+from repro.runahead import IntervalRecord
+from repro.workloads import gather
+
+from util import build_counted_loop
+
+
+class TestCommitTrace:
+    def test_records_commits_in_order(self):
+        proc = Processor(build_counted_loop(10), default_system())
+        trace = CommitTrace(capacity=1000)
+        proc.commit_hook = trace.on_commit
+        stats = proc.run(1000)
+        assert trace.total_commits == stats.committed_insts
+        seqs = [op.seq for op in trace.entries]
+        assert seqs == sorted(seqs)
+
+    def test_capacity_bounded(self):
+        proc = Processor(build_counted_loop(100), default_system())
+        trace = CommitTrace(capacity=16)
+        proc.commit_hook = trace.on_commit
+        proc.run(10_000)
+        assert len(trace) == 16
+        assert trace.total_commits > 16
+
+    def test_trace_is_architectural_path_only(self):
+        """Squashed wrong-path uops must never appear in the trace."""
+        wl = gather("t_trace", deref_depth=1)
+        proc = Processor(wl.program, make_config(RunaheadMode.BUFFER),
+                         memory=wl.memory)
+        trace = CommitTrace(capacity=100_000)
+        proc.commit_hook = trace.on_commit
+        stats = proc.run(1500)
+        assert stats.rab_intervals > 0
+        # Committed PCs must all be real program PCs on the committed path;
+        # compare against the reference interpreter.
+        from repro.isa import Interpreter
+        ref = gather("t_trace", deref_depth=1)
+        interp = Interpreter(ref.program, ref.memory)
+        ref_pcs = [op.pc for op in interp.run(trace.total_commits)]
+        assert trace.pcs() == ref_pcs[-len(trace.entries):]
+
+    def test_format(self):
+        proc = Processor(build_counted_loop(5), default_system())
+        trace = CommitTrace()
+        proc.commit_hook = trace.on_commit
+        proc.run(100)
+        text = trace.format(5)
+        assert "cycle" in text
+        assert "ADDI" in text or "BNE" in text
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            CommitTrace(capacity=0)
+
+    def test_last_n(self):
+        proc = Processor(build_counted_loop(20), default_system())
+        trace = CommitTrace()
+        proc.commit_hook = trace.on_commit
+        proc.run(1000)
+        assert len(trace.last(3)) == 3
+
+
+class TestIntervalTimeline:
+    def _record(self, kind, entry, exit_cycle, misses=0):
+        r = IntervalRecord(kind=kind, entry_cycle=entry)
+        r.exit_cycle = exit_cycle
+        r.misses_generated = misses
+        return r
+
+    def test_marks_modes(self):
+        timeline = render_interval_timeline(
+            [self._record("buffer", 0, 100),
+             self._record("traditional", 500, 600)],
+            total_cycles=1000, width=40)
+        lane = timeline.split("\n")[1]
+        assert "B" in lane and "T" in lane and "." in lane
+
+    def test_empty_run(self):
+        assert render_interval_timeline([], 0) == "(empty run)"
+
+    def test_summary_counts(self):
+        timeline = render_interval_timeline(
+            [self._record("buffer", 0, 10),
+             self._record("buffer", 20, 30),
+             self._record("traditional", 40, 50)],
+            total_cycles=100)
+        assert "3 intervals (2 buffer, 1 traditional)" in timeline
+
+    def test_interval_details_listed(self):
+        timeline = render_interval_timeline(
+            [self._record("buffer", 5, 25, misses=7)], total_cycles=100)
+        assert "misses=7" in timeline

@@ -1,0 +1,162 @@
+"""Workload suite tests: registry, determinism, kernel structure."""
+
+import pytest
+
+from repro.isa import Interpreter
+from repro.workloads import (
+    build_workload,
+    compute,
+    dependent_walk,
+    gather,
+    hash_probe,
+    intensity_of,
+    linked_list,
+    medium_high_names,
+    names_by_intensity,
+    region_base,
+    streaming,
+    workload_names,
+)
+
+PAPER_HIGH = {"mcf", "libquantum", "bwaves", "lbm", "sphinx3", "omnetpp",
+              "milc", "soplex", "leslie3d", "GemsFDTD"}
+PAPER_MEDIUM = {"zeusmp", "cactusADM", "wrf"}
+
+
+class TestRegistry:
+    def test_suite_has_29_benchmarks(self):
+        assert len(workload_names()) == 29
+
+    def test_table2_membership(self):
+        assert set(names_by_intensity("high")) == PAPER_HIGH
+        assert set(names_by_intensity("medium")) == PAPER_MEDIUM
+        assert len(names_by_intensity("low")) == 16
+
+    def test_medium_high_is_13(self):
+        assert len(medium_high_names()) == 13
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            build_workload("specjbb")
+
+    def test_every_workload_builds_and_runs(self):
+        for name in workload_names():
+            wl = build_workload(name)
+            interp = Interpreter(wl.program, wl.memory)
+            for _ in interp.run(500):
+                pass
+            assert interp.retired == 500, name
+            assert not interp.halted, name  # kernels loop forever
+
+    def test_builds_are_independent(self):
+        a = build_workload("mcf")
+        b = build_workload("mcf")
+        a.memory.store(0, 42)
+        assert b.memory.load(0) != 42 or b.memory.load(0) == a.memory.load(0)
+        assert a.memory is not b.memory
+
+    def test_determinism(self):
+        for name in ("mcf", "omnetpp", "libquantum"):
+            runs = []
+            for _ in range(2):
+                wl = build_workload(name)
+                interp = Interpreter(wl.program, wl.memory)
+                trace = [op.mem_addr for op in interp.run(2000)
+                         if op.mem_addr is not None]
+                runs.append(trace)
+            assert runs[0] == runs[1], name
+
+    def test_intensity_of(self):
+        assert intensity_of("mcf") == "high"
+        assert intensity_of("zeusmp") == "medium"
+        assert intensity_of("calculix") == "low"
+
+
+class TestKernelStructure:
+    def test_region_bases_disjoint(self):
+        assert region_base(1) - region_base(0) >= 32 << 20
+
+    def test_streaming_touches_sequential_lines(self):
+        wl = streaming("t", num_arrays=1, array_bytes=1 << 20)
+        interp = Interpreter(wl.program, wl.memory)
+        addrs = [op.mem_addr for op in interp.run(200)
+                 if op.inst.is_load and op.mem_addr is not None]
+        deltas = {b - a for a, b in zip(addrs, addrs[1:])}
+        assert deltas == {8}
+
+    def test_streaming_segments_jump(self):
+        wl = streaming("t", num_arrays=1, segment_elems=16,
+                       segment_gap_bytes=4096)
+        interp = Interpreter(wl.program, wl.memory)
+        addrs = [op.mem_addr for op in interp.run(600)
+                 if op.inst.is_load and op.mem_addr is not None]
+        deltas = {b - a for a, b in zip(addrs, addrs[1:])}
+        assert 8 in deltas
+        assert 8 + 4096 in deltas
+
+    def test_gather_dereferences_land_in_data_region(self):
+        wl = gather("t", data_region_bytes=1 << 20)
+        interp = Interpreter(wl.program, wl.memory)
+        derefs = [op.mem_addr for op in interp.run(300)
+                  if op.inst.is_load and op.mem_addr is not None
+                  and op.mem_addr >= region_base(1)]
+        assert derefs
+        for addr in derefs:
+            assert region_base(1) <= addr < region_base(1) + (1 << 20)
+
+    def test_gather_validates_depth(self):
+        with pytest.raises(ValueError):
+            gather("t", deref_depth=0)
+
+    def test_dependent_walk_levels(self):
+        wl = dependent_walk("t", depth=2,
+                            data_region_bytes=[1 << 16, 1 << 20])
+        interp = Interpreter(wl.program, wl.memory)
+        for _ in interp.run(300):
+            pass
+
+    def test_dependent_walk_region_count_mismatch(self):
+        with pytest.raises(ValueError):
+            dependent_walk("t", depth=2, data_region_bytes=[1 << 16])
+
+    def test_hash_probe_round_cap(self):
+        with pytest.raises(ValueError):
+            hash_probe("t", hash_rounds=17)
+
+    def test_hash_probe_addresses_in_table(self):
+        wl = hash_probe("t", table_bytes=1 << 20)
+        interp = Interpreter(wl.program, wl.memory)
+        loads = [op.mem_addr for op in interp.run(500)
+                 if op.inst.is_load and op.mem_addr is not None]
+        assert loads
+        for addr in loads:
+            assert region_base(0) <= addr < region_base(0) + (1 << 20)
+
+    def test_compute_small_working_set(self):
+        wl = compute("t", working_set_bytes=4096)
+        interp = Interpreter(wl.program, wl.memory)
+        addrs = {op.mem_addr for op in interp.run(5000)
+                 if op.mem_addr is not None}
+        span = max(addrs) - min(addrs)
+        assert span <= 4096
+
+    def test_linked_list_is_circular_permutation(self):
+        wl = linked_list("t", num_nodes=64, node_stride=128)
+        # Walk the list functionally: must visit all 64 nodes then repeat.
+        interp = Interpreter(wl.program, wl.memory)
+        visited = []
+        for op in interp.run(64 * 4 + 8):  # 4 uops per node
+            if op.inst.is_load and op.inst.rd == 1:
+                visited.append(op.mem_addr)
+        assert len(set(visited)) == 64
+        assert len(visited) > 64  # wrapped around (circular)
+
+    def test_streaming_validates_array_count(self):
+        with pytest.raises(ValueError):
+            streaming("t", num_arrays=0)
+        with pytest.raises(ValueError):
+            streaming("t", num_arrays=6)
+
+    def test_streaming_validates_segment_power_of_two(self):
+        with pytest.raises(ValueError):
+            streaming("t", segment_elems=100)

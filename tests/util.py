@@ -1,0 +1,45 @@
+"""Shared program-building helpers for tests."""
+
+from __future__ import annotations
+
+from repro import DataMemory, ProgramBuilder
+
+
+def build_counted_loop(iterations: int, body=None):
+    """A loop running ``iterations`` times then HALT.
+
+    ``body(builder)`` may emit extra instructions inside the loop.
+    Register conventions: R1 counts up, R2 holds the bound.
+    """
+    b = ProgramBuilder()
+    b.li("R1", 0)
+    b.li("R2", iterations)
+    b.label("loop")
+    if body is not None:
+        body(b)
+    b.addi("R1", "R1", 1)
+    b.bne("R1", "R2", "loop")
+    b.halt()
+    return b.build(name="counted_loop")
+
+
+def build_sum_array(base: int, count: int):
+    """Sum ``count`` words starting at ``base`` into R5, then HALT."""
+    b = ProgramBuilder()
+    b.li("R1", base)
+    b.li("R2", base + 8 * count)
+    b.li("R5", 0)
+    b.label("loop")
+    b.load("R3", "R1", 0)
+    b.add("R5", "R5", "R3")
+    b.addi("R1", "R1", 8)
+    b.bne("R1", "R2", "loop")
+    b.halt()
+    return b.build(name="sum_array")
+
+
+def make_memory_with_array(base: int, values):
+    memory = DataMemory()
+    for i, value in enumerate(values):
+        memory.store(base + 8 * i, value)
+    return memory
