@@ -4,12 +4,21 @@ from . import figures
 from .experiments import (
     DEFAULT_INSTRUCTIONS,
     DEFAULT_WARMUP,
+    KEY_SCHEMA,
     MODEL_VERSION,
     ExperimentMatrix,
     all_workloads,
     evaluation_workloads,
 )
 from .metrics import gmean, gmean_percent_delta, percent_delta
+from .parallel import (
+    CellSpec,
+    SimSpec,
+    print_progress,
+    resolve_jobs,
+    simulate_cells,
+    simulate_configs,
+)
 from .report import Table, render, write_report
 from .sweeps import (
     CANNED_SWEEPS,
@@ -21,10 +30,13 @@ from .sweeps import (
 
 __all__ = [
     "CANNED_SWEEPS",
+    "CellSpec",
     "DEFAULT_INSTRUCTIONS",
     "DEFAULT_WARMUP",
     "ExperimentMatrix",
+    "KEY_SCHEMA",
     "MODEL_VERSION",
+    "SimSpec",
     "Table",
     "all_workloads",
     "evaluation_workloads",
@@ -32,9 +44,13 @@ __all__ = [
     "gmean",
     "gmean_percent_delta",
     "percent_delta",
+    "print_progress",
     "render",
+    "resolve_jobs",
     "run_named_sweep",
     "run_sweep",
+    "simulate_cells",
+    "simulate_configs",
     "sweep_table",
     "SweepPoint",
     "write_report",

@@ -6,13 +6,20 @@ SPEC06-like suite.  :class:`ExperimentMatrix` runs each cell once, keeps
 results in memory, and persists them as JSON so repeated benchmark runs
 (or partial reruns) do not repeat simulations.
 
-The cache key includes a model-version salt — bump ``MODEL_VERSION``
-whenever simulator behaviour changes so stale results are discarded.
+Cache invalidation follows two rules:
+
+* ``MODEL_VERSION`` is a model salt — bump it whenever simulator
+  behaviour changes so stale results are discarded wholesale.
+* ``KEY_SCHEMA`` versions the cell-key format.  Keys embed every input
+  that affects a cell's stats (workload, config, chain-stats variant,
+  instruction budget, warmup budget), so changing any budget addresses
+  different cells rather than silently reusing stale ones.
 
 Instruction budgets default to quick-but-meaningful runs for a
 Python-hosted cycle-level simulator; override with the environment
 variables ``REPRO_BENCH_INSTS`` / ``REPRO_BENCH_WARMUP`` for longer,
-higher-fidelity sweeps.
+higher-fidelity sweeps.  Missing cells can be populated cores-wide with
+:meth:`ExperimentMatrix.prefetch` (see :mod:`repro.analysis.parallel`).
 """
 
 from __future__ import annotations
@@ -20,16 +27,20 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Any, Optional
+from typing import Any, Callable, Optional, Sequence
 
 from ..config import CONFIG_BUILDERS, build_named_config
 from ..core import simulate
 from ..workloads import medium_high_names, workload_names
 
 MODEL_VERSION = 3
+KEY_SCHEMA = 2
 
 DEFAULT_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTS", "5000"))
 DEFAULT_WARMUP = int(os.environ.get("REPRO_BENCH_WARMUP", "12000"))
+
+# A cell address: (workload, config_name, chain_stats).
+Cell = tuple[str, str, bool]
 
 
 class ExperimentMatrix:
@@ -51,14 +62,31 @@ class ExperimentMatrix:
                 payload = json.loads(self.cache_path.read_text())
             except (OSError, json.JSONDecodeError):
                 payload = {}
-            if payload.get("model_version") == MODEL_VERSION:
+            if (payload.get("model_version") == MODEL_VERSION
+                    and payload.get("key_schema") == KEY_SCHEMA):
                 self._results = payload.get("results", {})
 
     # -- keys ------------------------------------------------------------------
 
     def _key(self, workload: str, config_name: str, chain_stats: bool) -> str:
         suffix = "+chains" if chain_stats else ""
-        return f"{workload}/{config_name}{suffix}/{self.instructions}"
+        return (f"{workload}/{config_name}{suffix}"
+                f"/{self.instructions}/w{self.warmup}")
+
+    def _lookup(self, workload: str, config_name: str,
+                chain_stats: bool) -> Optional[dict[str, Any]]:
+        """Cached stats for a cell, falling back to the ``+chains``
+        variant for plain requests (a strict superset with identical
+        timing behaviour, so no need to simulate the cell twice)."""
+        cached = self._results.get(self._key(workload, config_name,
+                                             chain_stats))
+        if cached is None and not chain_stats:
+            cached = self._results.get(self._key(workload, config_name, True))
+        return cached
+
+    def is_cached(self, workload: str, config_name: str,
+                  chain_stats: bool = False) -> bool:
+        return self._lookup(workload, config_name, chain_stats) is not None
 
     # -- access ------------------------------------------------------------------
 
@@ -67,8 +95,7 @@ class ExperimentMatrix:
         """Stats dict for one cell, simulating on first use."""
         if config_name not in CONFIG_BUILDERS:
             raise ValueError(f"unknown config {config_name!r}")
-        key = self._key(workload, config_name, chain_stats)
-        cached = self._results.get(key)
+        cached = self._lookup(workload, config_name, chain_stats)
         if cached is not None:
             return cached
         config = build_named_config(config_name)
@@ -82,9 +109,14 @@ class ExperimentMatrix:
             config_name=config_name,
         )
         stats = result.stats.to_dict()
-        self._results[key] = stats
-        self._dirty = True
+        self.store(workload, config_name, chain_stats, stats)
         return stats
+
+    def store(self, workload: str, config_name: str, chain_stats: bool,
+              stats: dict[str, Any]) -> None:
+        """Record a completed cell (e.g. merged back from a worker)."""
+        self._results[self._key(workload, config_name, chain_stats)] = stats
+        self._dirty = True
 
     def ipc(self, workload: str, config_name: str) -> float:
         return self.get(workload, config_name)["ipc"]
@@ -96,15 +128,65 @@ class ExperimentMatrix:
 
     # -- bulk helpers ---------------------------------------------------------------
 
+    def missing_cells(self, cells: Sequence[Cell]) -> list[Cell]:
+        """The subset of ``cells`` that would need a simulation.
+
+        Deduplicates, drops cells already cached, and drops a plain cell
+        whenever its ``+chains`` superset is also requested (the superset
+        satisfies both).
+        """
+        wanted: dict[tuple[str, str], bool] = {}
+        for workload, config_name, chain_stats in cells:
+            pair = (workload, config_name)
+            wanted[pair] = wanted.get(pair, False) or bool(chain_stats)
+        missing = []
+        for (workload, config_name), chain_stats in wanted.items():
+            if not self.is_cached(workload, config_name, chain_stats):
+                missing.append((workload, config_name, chain_stats))
+        return missing
+
+    def prefetch(self, cells: Sequence[Cell],
+                 jobs: Optional[int] = None,
+                 progress: Optional[Callable[[Cell, int, int], None]] = None,
+                 ) -> int:
+        """Simulate every missing cell, fanning out across processes.
+
+        Results are merged back and flushed to disk in one atomic save.
+        Returns the number of cells simulated.  Parallel runs produce
+        byte-identical stats to serial ones — workers execute the exact
+        same deterministic simulation, and the dicts round-trip through
+        pickle unchanged.
+        """
+        from .parallel import CellSpec, simulate_cells
+
+        missing = self.missing_cells(cells)
+        if not missing:
+            return 0
+        specs = [CellSpec(w, c, chains, self.instructions, self.warmup)
+                 for w, c, chains in missing]
+        stats_list = simulate_cells(specs, jobs=jobs, progress=progress)
+        for (workload, config_name, chain_stats), stats in zip(missing,
+                                                               stats_list):
+            self.store(workload, config_name, chain_stats, stats)
+        self.save()
+        return len(missing)
+
     def run_suite(self, config_names: list[str],
                   workloads: Optional[list[str]] = None,
-                  chain_stats: bool = False) -> None:
-        """Populate a block of cells (and flush the cache once)."""
+                  chain_stats: bool = False,
+                  jobs: Optional[int] = None) -> None:
+        """Populate a block of cells (and flush the cache once).
+
+        With ``jobs`` > 1 the missing cells are simulated in worker
+        processes; the result is identical to a serial run.
+        """
         if workloads is None:
             workloads = medium_high_names()
-        for workload in workloads:
-            for config_name in config_names:
-                self.get(workload, config_name, chain_stats=chain_stats)
+        cells = [(w, c, chain_stats)
+                 for w in workloads for c in config_names]
+        self.prefetch(cells, jobs=jobs)
+        for workload, config_name, chain_stats_ in cells:
+            self.get(workload, config_name, chain_stats=chain_stats_)
         self.save()
 
     # -- persistence -------------------------------------------------------------------
@@ -115,10 +197,22 @@ class ExperimentMatrix:
         self.cache_path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "model_version": MODEL_VERSION,
+            "key_schema": KEY_SCHEMA,
             "instructions": self.instructions,
+            "warmup": self.warmup,
             "results": self._results,
         }
-        self.cache_path.write_text(json.dumps(payload))
+        text = json.dumps(payload)
+        # Write-then-rename so an interrupt mid-write can never leave a
+        # truncated cache behind; the pid suffix keeps concurrent savers
+        # (parallel suite runs sharing one path) off each other's temp.
+        tmp = self.cache_path.with_name(
+            f"{self.cache_path.name}.tmp.{os.getpid()}")
+        try:
+            tmp.write_text(text)
+            os.replace(tmp, self.cache_path)
+        finally:
+            tmp.unlink(missing_ok=True)
         self._dirty = False
 
 

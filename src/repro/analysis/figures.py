@@ -371,6 +371,28 @@ def fig18_energy_pf(matrix: ExperimentMatrix) -> Table:
     )
 
 
+def figure_matrix_cells() -> list[tuple[str, str, bool]]:
+    """Every (workload, config, chain_stats) cell the figure suite reads.
+
+    Feeding this list to :meth:`ExperimentMatrix.prefetch` populates the
+    whole evaluation matrix in one parallel fan-out before any figure
+    extractor runs serially (and then only reads the cache).
+    """
+    cells: list[tuple[str, str, bool]] = []
+    for name in workload_names():
+        cells.append((name, "baseline", False))       # figs 1, 16-18, table 2
+        cells.append((name, "baseline", True))        # fig 2
+    evaluation_configs = sorted(set(
+        PERF_CONFIGS_NOPF + PERF_CONFIGS_PF
+        + ENERGY_CONFIGS_NOPF + ENERGY_CONFIGS_PF))
+    for name in medium_high_names():
+        cells.append((name, "runahead", True))        # figs 3-5
+        cells.append((name, "rab_cc", True))          # fig 13
+        cells.extend((name, config, False)            # figs 9-18, headline
+                     for config in evaluation_configs)
+    return cells
+
+
 # The paper's headline aggregates, for machine-readable comparison.
 PAPER_HEADLINES = {
     "runahead perf %": 14.3,

@@ -11,15 +11,26 @@ Used by the ablation benchmarks and by ``python -m repro sweep``.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from ..config import RunaheadMode, SystemConfig, make_config
-from ..core import simulate
 from .metrics import gmean
+from .parallel import SimSpec, simulate_configs
 from .report import Table
 
 DEFAULT_BENCHES = ("mcf", "milc", "soplex")
+
+
+def default_sweep_instructions() -> int:
+    """Per-point budget: ``REPRO_BENCH_INSTS``, read at call time."""
+    return int(os.environ.get("REPRO_BENCH_INSTS", "3000"))
+
+
+def default_sweep_warmup() -> int:
+    """Warmup budget: ``REPRO_BENCH_WARMUP``, read at call time."""
+    return int(os.environ.get("REPRO_BENCH_WARMUP", "12000"))
 
 
 @dataclass(frozen=True)
@@ -35,28 +46,38 @@ def run_sweep(
     configure: Callable[[object], SystemConfig],
     values: Sequence,
     benches: Sequence[str] = DEFAULT_BENCHES,
-    instructions: int = 3000,
-    warmup: int = 12_000,
+    instructions: Optional[int] = None,
+    warmup: Optional[int] = None,
+    jobs: Optional[int] = None,
 ) -> list[SweepPoint]:
     """Sweep ``configure(value)`` over ``values``.
 
     ``configure`` returns the treatment config for a value; each point is
     reported as gmean % IPC over the plain baseline on the same
-    benchmarks.
+    benchmarks.  Budgets default to ``REPRO_BENCH_INSTS`` /
+    ``REPRO_BENCH_WARMUP``.  Every (point x bench) run — and the shared
+    baselines — is independent, so the whole sweep fans out across
+    ``jobs`` worker processes at once.
     """
-    baselines = {
-        name: simulate(name, make_config(), max_instructions=instructions,
-                       warmup_instructions=warmup).stats.ipc
-        for name in benches
-    }
-    points = []
+    if instructions is None:
+        instructions = default_sweep_instructions()
+    if warmup is None:
+        warmup = default_sweep_warmup()
+    specs = [SimSpec(name, make_config(), instructions, warmup, "baseline")
+             for name in benches]
     for value in values:
         config = configure(value)
+        specs.extend(SimSpec(name, config, instructions, warmup, str(value))
+                     for name in benches)
+    stats = simulate_configs(specs, jobs=jobs)
+    ipcs = [s["ipc"] for s in stats]
+    baselines = dict(zip(benches, ipcs))
+    points = []
+    for index, value in enumerate(values):
+        block = ipcs[(index + 1) * len(benches):(index + 2) * len(benches)]
         per_bench = {}
         ratios = []
-        for name in benches:
-            ipc = simulate(name, config, max_instructions=instructions,
-                           warmup_instructions=warmup).stats.ipc
+        for name, ipc in zip(benches, block):
             per_bench[name] = 100.0 * (ipc / baselines[name] - 1.0)
             ratios.append(ipc / baselines[name])
         points.append(SweepPoint(value, 100.0 * (gmean(ratios) - 1.0),
@@ -146,7 +167,9 @@ CANNED_SWEEPS: dict[str, tuple[Callable[..., list[SweepPoint]], str, str]] = {
 
 
 def run_named_sweep(name: str, benches: Optional[Sequence[str]] = None,
-                    instructions: int = 3000) -> Table:
+                    instructions: Optional[int] = None,
+                    warmup: Optional[int] = None,
+                    jobs: Optional[int] = None) -> Table:
     """Run a canned sweep by name and return its table."""
     try:
         fn, knob, description = CANNED_SWEEPS[name]
@@ -154,7 +177,7 @@ def run_named_sweep(name: str, benches: Optional[Sequence[str]] = None,
         raise ValueError(
             f"unknown sweep {name!r}; choose from {sorted(CANNED_SWEEPS)}"
         ) from None
-    kwargs = {"instructions": instructions}
+    kwargs = {"instructions": instructions, "warmup": warmup, "jobs": jobs}
     if benches:
         kwargs["benches"] = tuple(benches)
     points = fn(**kwargs)

@@ -23,6 +23,7 @@ import sys
 from typing import Callable, Optional, Sequence
 
 from .analysis import ExperimentMatrix, figures, render, write_report
+from .analysis.parallel import SimSpec, print_progress, simulate_configs
 from .analysis.sweeps import CANNED_SWEEPS, run_named_sweep
 from .config import CONFIG_BUILDERS, build_named_config
 from .core import simulate
@@ -76,6 +77,8 @@ def _build_parser() -> argparse.ArgumentParser:
                          default=["baseline", "runahead", "rab_cc", "hybrid"])
     compare.add_argument("--instructions", type=int, default=10_000)
     compare.add_argument("--warmup", type=int, default=12_000)
+    compare.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (default: all cores)")
 
     figure = sub.add_parser("figure", help="regenerate one paper figure")
     figure.add_argument("id", choices=sorted(FIGURES))
@@ -83,11 +86,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
     suite = sub.add_parser("suite", help="regenerate all figures/tables")
     suite.add_argument("--instructions", type=int, default=None)
+    suite.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: all cores)")
 
     sweep = sub.add_parser("sweep", help="run a sensitivity sweep")
     sweep.add_argument("name", choices=sorted(CANNED_SWEEPS))
     sweep.add_argument("--benches", nargs="+", default=None)
-    sweep.add_argument("--instructions", type=int, default=3000)
+    sweep.add_argument("--instructions", type=int, default=None)
+    sweep.add_argument("--warmup", type=int, default=None)
+    sweep.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: all cores)")
 
     return parser
 
@@ -140,6 +148,10 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_compare(args) -> int:
+    specs = [SimSpec(args.workload, build_named_config(config_name),
+                     args.instructions, args.warmup, config_name)
+             for config_name in args.configs]
+    results = simulate_configs(specs, jobs=args.jobs)
     header = (f"{'config':16s} {'ipc':>7s} {'speedup':>8s} {'mpki':>6s} "
               f"{'dram':>6s} {'energy':>8s}")
     print(f"{args.workload}:")
@@ -147,19 +159,14 @@ def _cmd_compare(args) -> int:
     print("-" * len(header))
     base_ipc: Optional[float] = None
     base_energy: Optional[float] = None
-    for config_name in args.configs:
-        result = simulate(args.workload, build_named_config(config_name),
-                          max_instructions=args.instructions,
-                          warmup_instructions=args.warmup,
-                          config_name=config_name)
-        stats = result.stats
+    for config_name, stats in zip(args.configs, results):
         if base_ipc is None:
-            base_ipc = stats.ipc
-            base_energy = result.energy.total
-        speedup = 100 * (stats.ipc / base_ipc - 1)
-        energy = 100 * (result.energy.total / base_energy - 1)
-        print(f"{config_name:16s} {stats.ipc:7.3f} {speedup:+7.1f}% "
-              f"{stats.mpki:6.1f} {stats.dram_requests:6d} "
+            base_ipc = stats["ipc"]
+            base_energy = stats["total_energy_j"]
+        speedup = 100 * (stats["ipc"] / base_ipc - 1)
+        energy = 100 * (stats["total_energy_j"] / base_energy - 1)
+        print(f"{config_name:16s} {stats['ipc']:7.3f} {speedup:+7.1f}% "
+              f"{stats['mpki']:6.1f} {stats['dram_requests']:6d} "
               f"{energy:+7.1f}%")
     return 0
 
@@ -183,6 +190,10 @@ def _cmd_figure(args) -> int:
 
 def _cmd_suite(args) -> int:
     matrix = _matrix(args.instructions)
+    simulated = matrix.prefetch(figures.figure_matrix_cells(),
+                                jobs=args.jobs, progress=print_progress)
+    if simulated:
+        print(f"simulated {simulated} missing cells")
     for fig_id, (extractor, filename) in FIGURES.items():
         table = extractor(matrix)
         path = write_report(table, filename)
@@ -205,7 +216,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_suite(args)
     if args.command == "sweep":
         table = run_named_sweep(args.name, benches=args.benches,
-                                instructions=args.instructions)
+                                instructions=args.instructions,
+                                warmup=args.warmup, jobs=args.jobs)
         path = write_report(table, f"sweep_{args.name}.txt")
         print(render(table))
         print(f"\nwritten to {path}")

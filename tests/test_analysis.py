@@ -111,6 +111,83 @@ class TestExperimentMatrix:
         chains = matrix.get("calculix", "baseline", chain_stats=True)
         assert plain is not chains
 
+    def test_key_includes_budgets(self):
+        matrix = ExperimentMatrix(instructions=400, warmup=500,
+                                  cache_path=None)
+        key = matrix._key("mcf", "baseline", False)
+        assert "400" in key and "w500" in key
+        matrix.warmup = 600
+        assert matrix._key("mcf", "baseline", False) != key
+
+    def test_changed_warmup_invalidates_cache(self, tmp_path, monkeypatch):
+        path = tmp_path / "cache.json"
+        m1 = ExperimentMatrix(instructions=400, warmup=500, cache_path=path)
+        m1.get("calculix", "baseline")
+        m1.save()
+        from repro.core import simulate
+        calls = []
+
+        def spy(*args, **kwargs):
+            calls.append(kwargs)
+            return simulate(*args, **kwargs)
+
+        monkeypatch.setattr("repro.analysis.experiments.simulate", spy)
+        m2 = ExperimentMatrix(instructions=400, warmup=500, cache_path=path)
+        m2.get("calculix", "baseline")
+        assert not calls  # same warmup: served from cache
+        m3 = ExperimentMatrix(instructions=400, warmup=700, cache_path=path)
+        m3.get("calculix", "baseline")
+        assert len(calls) == 1  # warmup changed: cell re-simulated
+        assert calls[0]["warmup_instructions"] == 700
+
+    def test_payload_persists_budgets_and_schema(self, tmp_path):
+        from repro.analysis import KEY_SCHEMA, MODEL_VERSION
+        path = tmp_path / "cache.json"
+        matrix = ExperimentMatrix(instructions=400, warmup=500,
+                                  cache_path=path)
+        matrix.get("calculix", "baseline")
+        matrix.save()
+        payload = json.loads(path.read_text())
+        assert payload["warmup"] == 500
+        assert payload["instructions"] == 400
+        assert payload["model_version"] == MODEL_VERSION
+        assert payload["key_schema"] == KEY_SCHEMA
+
+    def test_truncated_cache_recovered(self, tmp_path):
+        path = tmp_path / "cache.json"
+        m1 = ExperimentMatrix(instructions=400, warmup=500, cache_path=path)
+        stats = m1.get("calculix", "baseline")
+        m1.save()
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        m2 = ExperimentMatrix(instructions=400, warmup=500, cache_path=path)
+        assert m2._results == {}
+        assert m2.get("calculix", "baseline") == stats
+
+    def test_save_is_atomic_on_failure(self, tmp_path):
+        path = tmp_path / "cache.json"
+        matrix = ExperimentMatrix(instructions=400, warmup=500,
+                                  cache_path=path)
+        matrix.get("calculix", "baseline")
+        matrix.save()
+        good = path.read_text()
+        matrix.store("calculix", "baseline", True, {"bad": object()})
+        with pytest.raises(TypeError):
+            matrix.save()
+        assert path.read_text() == good  # old cache untouched
+        assert list(tmp_path.iterdir()) == [path]  # no temp litter
+
+    def test_plain_get_falls_back_to_chains_superset(self, monkeypatch):
+        matrix = ExperimentMatrix(instructions=400, warmup=500,
+                                  cache_path=None)
+        chains = matrix.get("calculix", "baseline", chain_stats=True)
+
+        def boom(*args, **kwargs):
+            raise AssertionError("plain cell should reuse +chains result")
+
+        monkeypatch.setattr("repro.analysis.experiments.simulate", boom)
+        assert matrix.get("calculix", "baseline") is chains
+        assert matrix.is_cached("calculix", "baseline")
+
 
 @pytest.fixture(scope="module")
 def small_matrix():

@@ -40,6 +40,15 @@ def test_compare(capsys):
     assert "speedup" in out
 
 
+def test_compare_with_jobs_matches_serial(capsys):
+    argv = ["compare", "calculix", "--configs", "baseline", "runahead",
+            "--instructions", "500", "--warmup", "500"]
+    assert main(argv) == 0
+    serial = capsys.readouterr().out
+    assert main(argv + ["--jobs", "2"]) == 0
+    assert capsys.readouterr().out == serial
+
+
 def test_unknown_workload_raises():
     with pytest.raises(ValueError):
         main(["run", "nonexistent", "--instructions", "100"])

@@ -44,7 +44,7 @@ def test_buffer_size_sweep_positive_gains():
 
 def test_run_named_sweep():
     table = run_named_sweep("runahead-cache", benches=("mcf",),
-                            instructions=1200)
+                            instructions=1200, warmup=2000, jobs=1)
     assert len(table.rows) == 2
 
 
