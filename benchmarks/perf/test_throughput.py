@@ -1,0 +1,55 @@
+"""Simulator-throughput (KIPS) benchmark harness.
+
+Run directly for a quick reading::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf -q -s
+
+The full tracked measurement lives in ``repro bench-throughput`` (see
+``BENCH_sim_throughput.json`` at the repo root); this harness is the
+pytest-facing smoke version: a reduced grid that asserts the measurement
+machinery works and — when a committed baseline exists — reports the
+current reading against it.  Budgets follow ``REPRO_PERF_INSTS`` /
+``REPRO_PERF_WARMUP``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.analysis import bench
+
+INSTS = int(os.environ.get("REPRO_PERF_INSTS", "5000"))
+WARMUP = int(os.environ.get("REPRO_PERF_WARMUP", "3000"))
+
+BASELINE = Path(__file__).resolve().parents[2] / "BENCH_sim_throughput.json"
+
+
+def test_throughput_normal_mode():
+    cell = bench.measure_cell("mcf", "normal", INSTS, WARMUP, reps=1)
+    assert cell["committed"] >= INSTS
+    assert cell["kips"] > 0
+    print(f"\nmcf normal: {cell['kips']:.1f} KIPS")
+
+
+def test_throughput_rab_mode():
+    cell = bench.measure_cell("mcf", "rab", INSTS, WARMUP, reps=1)
+    assert cell["committed"] >= INSTS
+    assert cell["kips"] > 0
+    print(f"\nmcf rab: {cell['kips']:.1f} KIPS")
+
+
+def test_report_against_committed_baseline():
+    """Informational: print the current geomean next to the committed one.
+
+    The hard >30% gate runs in CI on the ``repro bench-throughput
+    --check`` path with full budgets; unit-test budgets are too small to
+    gate on without flakiness.
+    """
+    if not BASELINE.exists():
+        return
+    doc = bench.run_benchmark(workloads=("mcf",), instructions=INSTS,
+                              warmup=WARMUP, reps=1)
+    committed = bench.load_results(BASELINE)
+    print("\ncurrent geomean KIPS:", doc["geomean_kips"])
+    print("committed geomean KIPS:", committed.get("geomean_kips"))

@@ -1,0 +1,197 @@
+"""Simulator-throughput benchmark: KIPS as a first-class tracked metric.
+
+The experiment matrix measures what the *simulated core* does; this module
+measures how fast the *simulator itself* runs, in KIPS (committed
+kilo-instructions per host second).  ``repro bench-throughput`` runs a
+small workload x mode grid, writes ``BENCH_sim_throughput.json`` and can
+gate CI on a regression against a committed baseline.
+
+Timing methodology: each cell builds a fresh workload + processor, runs
+the functional warm-up (timed separately — it is not cycle-level work)
+and then times ``Processor.run`` alone with ``perf_counter``.  The best
+of ``reps`` repetitions is reported, which filters scheduler noise while
+staying cheap enough for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+from ..config import build_named_config
+from ..core.processor import Processor
+from ..workloads import build_workload
+
+# Benchmark mode -> named configuration.  "normal" exercises the plain
+# out-of-order fast path, "rab" additionally exercises chain generation,
+# the runahead buffer loop, and the runahead cache.
+MODES: dict[str, str] = {
+    "normal": "baseline",
+    "rab": "rab_cc",
+}
+
+# Default suite: the memory-intensive kernels that dominate figure runs
+# (two pointer-chasing gathers, two streams) — the workloads where both
+# the normal and runahead-buffer hot paths actually get exercised.
+DEFAULT_WORKLOADS = ("mcf", "milc", "libquantum", "lbm")
+
+DEFAULT_INSTRUCTIONS = 20_000
+DEFAULT_WARMUP = 12_000
+DEFAULT_REPS = 2
+
+SCHEMA = 1
+
+
+def _time_cell(workload: str, config_name: str, instructions: int,
+               warmup: int) -> dict[str, Any]:
+    """One timed simulation: returns KIPS plus raw timing components."""
+    built = build_workload(workload)
+    config = build_named_config(config_name)
+    processor = Processor(built.program, config, memory=built.memory,
+                         init_regs=built.init_regs)
+    t0 = time.perf_counter()
+    if warmup > 0:
+        processor.warm_up(warmup)
+    t1 = time.perf_counter()
+    stats = processor.run(instructions)
+    t2 = time.perf_counter()
+    sim_seconds = t2 - t1
+    return {
+        "committed": stats.committed_insts,
+        "cycles": stats.cycles,
+        "warmup_seconds": round(t1 - t0, 6),
+        "sim_seconds": round(sim_seconds, 6),
+        "kips": round(stats.committed_insts / sim_seconds / 1000.0, 3),
+    }
+
+
+def measure_cell(workload: str, mode: str, instructions: int = DEFAULT_INSTRUCTIONS,
+                 warmup: int = DEFAULT_WARMUP, reps: int = DEFAULT_REPS
+                 ) -> dict[str, Any]:
+    """Best-of-``reps`` measurement of one (workload, mode) cell."""
+    config_name = MODES[mode]
+    best: Optional[dict[str, Any]] = None
+    for _ in range(max(1, reps)):
+        sample = _time_cell(workload, config_name, instructions, warmup)
+        if best is None or sample["kips"] > best["kips"]:
+            best = sample
+    assert best is not None
+    best.update(workload=workload, mode=mode, config=config_name,
+                instructions=instructions, warmup=warmup)
+    return best
+
+
+def geomean(values: Sequence[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def run_benchmark(workloads: Sequence[str] = DEFAULT_WORKLOADS,
+                  modes: Sequence[str] = tuple(MODES),
+                  instructions: int = DEFAULT_INSTRUCTIONS,
+                  warmup: int = DEFAULT_WARMUP,
+                  reps: int = DEFAULT_REPS,
+                  progress=None) -> dict[str, Any]:
+    """Measure the full grid and assemble the result document."""
+    results = []
+    for workload in workloads:
+        for mode in modes:
+            cell = measure_cell(workload, mode, instructions, warmup, reps)
+            results.append(cell)
+            if progress is not None:
+                progress(f"{workload:12s} {mode:7s} {cell['kips']:8.1f} KIPS")
+    by_mode = {
+        mode: round(geomean([c["kips"] for c in results if c["mode"] == mode]), 3)
+        for mode in modes
+    }
+    return {
+        "schema": SCHEMA,
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "instructions": instructions,
+        "warmup": warmup,
+        "reps": reps,
+        "results": results,
+        "geomean_kips": {
+            **by_mode,
+            "overall": round(geomean([c["kips"] for c in results]), 3),
+        },
+    }
+
+
+def attach_before(doc: dict[str, Any], before: dict[str, Any]) -> dict[str, Any]:
+    """Embed a prior run as the ``before`` section and compute speedups."""
+    doc = dict(doc)
+    doc["before"] = {
+        "generated": before.get("generated"),
+        "geomean_kips": before.get("geomean_kips", {}),
+        "results": before.get("results", []),
+    }
+    speedup = {}
+    for mode, after_kips in doc["geomean_kips"].items():
+        before_kips = before.get("geomean_kips", {}).get(mode, 0)
+        if before_kips:
+            speedup[mode] = round(after_kips / before_kips, 3)
+    doc["speedup_vs_before"] = speedup
+    return doc
+
+
+def check_regression(current: dict[str, Any], baseline: dict[str, Any],
+                     tolerance: float = 0.30) -> list[str]:
+    """Per-mode geomean KIPS regression check.
+
+    Returns a list of human-readable failures (empty when within
+    ``tolerance``).  Only modes present in both documents are compared,
+    so shrinking or growing the grid does not spuriously fail.
+    """
+    failures = []
+    base = baseline.get("geomean_kips", {})
+    cur = current.get("geomean_kips", {})
+    for mode, base_kips in base.items():
+        if mode == "overall" or mode not in cur or not base_kips:
+            continue
+        floor = base_kips * (1.0 - tolerance)
+        if cur[mode] < floor:
+            failures.append(
+                f"{mode}: {cur[mode]:.1f} KIPS < {floor:.1f} "
+                f"(baseline {base_kips:.1f}, tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def write_results(doc: dict[str, Any], path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def load_results(path: str | Path) -> dict[str, Any]:
+    return json.loads(Path(path).read_text())
+
+
+def profile_cell(workload: str, mode: str, instructions: int,
+                 warmup: int, top: int = 25) -> str:
+    """cProfile one cell; returns the formatted top-N report."""
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    _time_cell(workload, MODES[mode], instructions, warmup)
+    profiler.disable()
+    out = io.StringIO()
+    stats = pstats.Stats(profiler, stream=out)
+    stats.sort_stats("tottime").print_stats(top)
+    return out.getvalue()

@@ -33,7 +33,7 @@ from ..config import CONFIG_BUILDERS, build_named_config
 from ..core import simulate
 from ..workloads import medium_high_names, workload_names
 
-MODEL_VERSION = 3
+MODEL_VERSION = 4
 KEY_SCHEMA = 2
 
 DEFAULT_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTS", "5000"))

@@ -14,6 +14,11 @@ Commands
     experiment matrix (running any missing cells).
 ``suite``
     Regenerate every figure/table (the full evaluation).
+``bench-throughput``
+    Measure simulator throughput (KIPS: committed kilo-instructions per
+    host second) over a workload x mode grid and write
+    ``BENCH_sim_throughput.json``; optionally gate on a committed
+    baseline (``--check``) or print a cProfile report (``--profile``).
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ import sys
 from typing import Callable, Optional, Sequence
 
 from .analysis import ExperimentMatrix, figures, render, write_report
+from .analysis import bench as bench_mod
 from .analysis.parallel import SimSpec, print_progress, simulate_configs
 from .analysis.sweeps import CANNED_SWEEPS, run_named_sweep
 from .config import CONFIG_BUILDERS, build_named_config
@@ -88,6 +94,27 @@ def _build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--instructions", type=int, default=None)
     suite.add_argument("--jobs", type=int, default=None,
                        help="worker processes (default: all cores)")
+
+    bench = sub.add_parser(
+        "bench-throughput",
+        help="measure simulator throughput (KIPS) and track regressions")
+    bench.add_argument("--workloads", nargs="+",
+                       default=list(bench_mod.DEFAULT_WORKLOADS))
+    bench.add_argument("--modes", nargs="+", choices=sorted(bench_mod.MODES),
+                       default=list(bench_mod.MODES))
+    bench.add_argument("--instructions", type=int,
+                       default=bench_mod.DEFAULT_INSTRUCTIONS)
+    bench.add_argument("--warmup", type=int, default=bench_mod.DEFAULT_WARMUP)
+    bench.add_argument("--reps", type=int, default=bench_mod.DEFAULT_REPS)
+    bench.add_argument("--output", default="BENCH_sim_throughput.json")
+    bench.add_argument("--before", default=None, metavar="JSON",
+                       help="embed a prior run as the 'before' section")
+    bench.add_argument("--check", default=None, metavar="JSON",
+                       help="fail on KIPS regression vs this baseline file")
+    bench.add_argument("--tolerance", type=float, default=0.30,
+                       help="allowed fractional regression for --check")
+    bench.add_argument("--profile", type=int, default=None, metavar="N",
+                       help="cProfile one cell and print the top N entries")
 
     sweep = sub.add_parser("sweep", help="run a sensitivity sweep")
     sweep.add_argument("name", choices=sorted(CANNED_SWEEPS))
@@ -202,6 +229,34 @@ def _cmd_suite(args) -> int:
     return 0
 
 
+def _cmd_bench_throughput(args) -> int:
+    if args.profile is not None:
+        report = bench_mod.profile_cell(
+            args.workloads[0], args.modes[0], args.instructions, args.warmup,
+            top=args.profile)
+        print(report)
+        return 0
+    doc = bench_mod.run_benchmark(
+        workloads=args.workloads, modes=args.modes,
+        instructions=args.instructions, warmup=args.warmup, reps=args.reps,
+        progress=print)
+    if args.before:
+        doc = bench_mod.attach_before(doc, bench_mod.load_results(args.before))
+    path = bench_mod.write_results(doc, args.output)
+    print(f"\ngeomean KIPS: " + "  ".join(
+        f"{mode}={kips:.1f}" for mode, kips in doc["geomean_kips"].items()))
+    print(f"written to {path}")
+    if args.check:
+        failures = bench_mod.check_regression(
+            doc, bench_mod.load_results(args.check), args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION {failure}", file=sys.stderr)
+            return 1
+        print(f"throughput within {args.tolerance:.0%} of {args.check}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -214,6 +269,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_figure(args)
     if args.command == "suite":
         return _cmd_suite(args)
+    if args.command == "bench-throughput":
+        return _cmd_bench_throughput(args)
     if args.command == "sweep":
         table = run_named_sweep(args.name, benches=args.benches,
                                 instructions=args.instructions,

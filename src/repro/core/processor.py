@@ -30,15 +30,23 @@ from ..backend import ForwardResult, InFlightUop, PhysicalRegisterFile, \
 from ..config import RunaheadMode, SystemConfig
 from ..frontend import BranchPredictor, FetchedUop, FetchUnit, INST_BYTES
 from ..isa import (
+    MASK64,
     DataMemory,
     Interpreter,
-    Opcode,
     Program,
-    UopClass,
-    alu_result,
-    branch_taken,
-    branch_target,
-    mem_address,
+)
+from ..isa.uop import (
+    CLS_BRANCH,
+    CLS_FADD,
+    CLS_FDIV,
+    CLS_FMUL,
+    CLS_IALU,
+    CLS_IDIV,
+    CLS_IMUL,
+    CLS_LOAD,
+    CLS_NOP,
+    CLS_STORE,
+    NUM_UOP_CLASSES,
 )
 from ..memory import MemoryHierarchy
 from ..runahead import (
@@ -101,6 +109,7 @@ class Processor:
         # Runahead machinery.
         ra = config.runahead
         self.mode = "normal"
+        self._in_ra = False   # mirrors mode != "normal" for the hot path
         self.ra_policy = RunaheadPolicyState(ra)
         self.runahead_cache = RunaheadCache(
             ra.runahead_cache_bytes, ra.runahead_cache_assoc,
@@ -120,12 +129,60 @@ class Processor:
         # Runahead loads whose data is further away than this are INV.
         self._poison_latency = 3 * config.llc.latency
 
+        # Hot-path caches: immutable config facts pulled into flat
+        # attributes/lists so the cycle loop never walks
+        # ``self.config.core.<field>`` attribute chains per uop.
+        self._rob_size = core.rob_size
+        self._rs_size = core.rs_size
+        self._lq_size = core.load_queue_size
+        # Issue-port budgets indexed by Instruction.port_class
+        # (PORT_MEM, PORT_ALU, PORT_MULDIV, PORT_FP).
+        self._port_limits = (
+            core.mem_ports, core.int_alu_units,
+            core.mul_div_units, core.fp_units,
+        )
+        self._lat_agu = core.latency_agu
+        self._lat_branch = core.latency_branch
+        self._l1d_latency = config.l1d.latency
+        self._fetch_to_rename = core.fetch_to_rename_cycles
+        self._redirect_penalty = core.branch_mispredict_redirect
+        self._ra_mode_off = ra.mode is RunaheadMode.NONE
+        self._min_interval = ra.min_interval_cycles
+        self._ra_cache_enabled = ra.runahead_cache_enabled
+        # Functional-unit latency per UopClass index (ALU classes only).
+        lat = [0] * NUM_UOP_CLASSES
+        lat[CLS_IALU] = core.latency_ialu
+        lat[CLS_IMUL] = core.latency_imul
+        lat[CLS_IDIV] = core.latency_idiv
+        lat[CLS_FADD] = core.latency_fadd
+        lat[CLS_FMUL] = core.latency_fmul
+        lat[CLS_FDIV] = core.latency_fdiv
+        self._lat_by_cls = lat
+
+        # Hot energy-event counters, folded into plain ints (merged with
+        # the ``ev`` dict in _finalize_stats).  Cumulative across run()
+        # calls, exactly like the dict entries they replace.
+        self._ev_prf_write = 0
+        self._ev_rs_wakeup = 0
+        self._ev_rob_read = 0
+        self._ev_issue = 0
+        self._ev_agu = 0
+        self._ev_alu = 0
+        self._ev_prf_read = 0
+        self._ev_rename = 0
+        self._ev_rab_read = 0
+        self._ev_fetch = 0
+        self._ev_decode = 0
+        self._ev_runahead_cache = 0
+        self._ev_fu = [0] * NUM_UOP_CLASSES  # per-class FU activations
+
         # Analytics.
         self.stats = SimStats(workload=program.name)
         self.tracker = (
             DataflowTracker(self.stats.chains)
             if ra.collect_chain_stats else None
         )
+        self._tracking = self.tracker is not None
 
         # Bookkeeping.
         self.now = 0
@@ -202,62 +259,99 @@ class Processor:
             _at, _seq, uop = heapq.heappop(retries)
             if not uop.squashed and not uop.issued:
                 self.ready.append(uop)
-        self._writeback(now)
-        if self.mode == "normal":
-            self._commit(now)
-            if self.halted:
-                return
-            self._maybe_enter_runahead(now)
+        # Each stage call is guarded by the same cheap emptiness check the
+        # stage itself would bail on, so idle stages cost one comparison
+        # instead of a function call.
+        events = self.events
+        if events and events[0][0] <= now:
+            self._writeback(now)
+        rob = self.rob
+        mode = self.mode
+        if mode == "normal":
+            if rob and rob[0].completed:
+                self._commit(now)
+                if self.halted:
+                    return
+                rob = self.rob
+            if not self._ra_mode_off:
+                self._maybe_enter_runahead(now)
+                mode = self.mode   # may have just entered a runahead mode
         else:
             self._pseudo_retire(now)
             if now >= self._exit_cycle:
                 self._exit_runahead(now)
-        self._issue(now)
-        if self.mode == "rab":
-            if self.decode_queue:
-                self._dispatch_from_decode(now)
+            mode = self.mode
+            rob = self.rob
+        if self.ready:
+            self._issue(now)
+        queue = self.decode_queue
+        if mode == "rab":
+            if queue:
+                if queue[0][0] <= now:
+                    self._dispatch_from_decode(now)
             elif now >= self._rab_start_cycle:
                 self._dispatch_from_buffer(now)
         else:
-            self._dispatch_from_decode(now)
-            self._fetch_into_decode(now)
-        self._advance(now)
+            if queue and queue[0][0] <= now:
+                self._dispatch_from_decode(now)
+            if len(queue) < self.decode_queue_cap:
+                fetch = self.fetch
+                if (fetch.halted or fetch.wait_for_redirect
+                        or now < fetch.stalled_until):
+                    # fetch_cycle would return an empty group: account
+                    # the idle cycle without paying for the call.
+                    if self.mode == "normal":
+                        self.stats.frontend_idle_cycles += 1
+                else:
+                    self._fetch_into_decode(now)
 
-    def _advance(self, now: int) -> None:
-        """Advance the clock, skipping provably idle stretches in bulk."""
+        # -- advance the clock, skipping provably idle stretches in bulk --
         nxt = now + 1
-        if not self.ready and not self.deferred_loads:  # retries handled via candidates
-            candidates = []
-            if self.events:
-                candidates.append(self.events[0][0])
-            if self._retries:
-                candidates.append(self._retries[0][0])
-            if self.decode_queue:
-                candidates.append(self.decode_queue[0][0])
-            fetchable = (
-                self.mode != "rab"
-                and not self.fetch.halted
-                and not self.fetch.wait_for_redirect
-                and len(self.decode_queue) < self.decode_queue_cap
-            )
-            if fetchable:
-                candidates.append(max(nxt, self.fetch.stalled_until))
-            if self.mode == "rab":
-                candidates.append(max(nxt, self._rab_start_cycle))
-            if self.mode != "normal":
-                candidates.append(self._exit_cycle)
-            if candidates:
-                nxt = max(nxt, min(candidates))
+        mode = self.mode
+        if not self.ready and not self.deferred_loads:
+            # retries are handled via the candidate times below.
+            best = self.events[0][0] if self.events else None
+            if retries:
+                t = retries[0][0]
+                if best is None or t < best:
+                    best = t
+            queue = self.decode_queue
+            if queue:
+                t = queue[0][0]
+                if best is None or t < best:
+                    best = t
+            fetch = self.fetch
+            if (mode != "rab" and not fetch.halted
+                    and not fetch.wait_for_redirect
+                    and len(queue) < self.decode_queue_cap):
+                t = fetch.stalled_until
+                if t < nxt:
+                    t = nxt
+                if best is None or t < best:
+                    best = t
+            if mode == "rab":
+                t = self._rab_start_cycle
+                if t < nxt:
+                    t = nxt
+                if best is None or t < best:
+                    best = t
+            if mode != "normal":
+                t = self._exit_cycle
+                if best is None or t < best:
+                    best = t
+            if best is not None and best > nxt:
+                nxt = best
         delta = nxt - now
         # Stall/mode accounting covers skipped cycles too: by construction
         # nothing changes during the skipped stretch.
-        if self.mode == "runahead":
+        if mode == "runahead":
             self.stats.cycles_in_traditional += delta
-        elif self.mode == "rab":
+        elif mode == "rab":
             self.stats.cycles_in_rab += delta
             self.stats.frontend_idle_cycles += delta
-        if self.rob:
-            head = self.rob[0]
+        rob = self.rob
+        if rob:
+            head = rob[0]
             if (not head.completed and head.inst.is_load
                     and head.level == "DRAM"):
                 self.stats.memstall_cycles += delta
@@ -269,19 +363,23 @@ class Processor:
 
     def _writeback(self, now: int) -> None:
         events = self.events
+        heappop = heapq.heappop
         while events and events[0][0] <= now:
-            _done, _seq, uop = heapq.heappop(events)
+            uop = heappop(events)[2]
             if uop.squashed or uop.completed:
                 continue
             self._complete(uop, now)
 
     def _complete(self, uop: InFlightUop, now: int) -> None:
         uop.completed = True
-        ev = self.ev
-        if uop.dest_phys is not None:
-            self.prf.write(uop.dest_phys, uop.value, uop.poisoned)
-            ev["prf_write"] = ev.get("prf_write", 0) + 1
-            waiters = self.waiters.pop(uop.dest_phys, None)
+        dest_phys = uop.dest_phys
+        if dest_phys is not None:
+            prf = self.prf
+            prf.value[dest_phys] = uop.value
+            prf.ready[dest_phys] = 1
+            prf.poison[dest_phys] = 1 if uop.poisoned else 0
+            self._ev_prf_write += 1
+            waiters = self.waiters.pop(dest_phys, None)
             if waiters:
                 ready = self.ready
                 for waiter in waiters:
@@ -290,7 +388,7 @@ class Processor:
                     waiter.waiting -= 1
                     if waiter.waiting == 0:
                         ready.append(waiter)
-        ev["rs_wakeup"] = ev.get("rs_wakeup", 0) + 1
+        self._ev_rs_wakeup += 1
         if uop.inst.is_store:
             # Address now known: deferred loads may proceed.
             if self.deferred_loads:
@@ -298,7 +396,7 @@ class Processor:
                     u for u in self.deferred_loads if not u.squashed
                 )
                 self.deferred_loads.clear()
-        if self.tracker is not None:
+        if self._tracking:
             self.tracker.note_exec(
                 uop.seq, uop.pc, uop.producer_seqs,
                 uop.inst.is_load and uop.level == "DRAM",
@@ -332,10 +430,7 @@ class Processor:
             self.predictor.repair(uop.pc, inst, uop.taken, uop.snapshot)
         self._squash_younger(uop.seq)
         self.decode_queue.clear()
-        self.fetch.redirect(
-            uop.actual_next_pc,
-            now + self.config.core.branch_mispredict_redirect,
-        )
+        self.fetch.redirect(uop.actual_next_pc, now + self._redirect_penalty)
 
     def _squash_younger(self, boundary_seq: int) -> None:
         rob = self.rob
@@ -367,7 +462,8 @@ class Processor:
     def _commit(self, now: int) -> None:
         rob = self.rob
         rename = self.rename
-        ev = self.ev
+        commit_rat = rename.commit_rat
+        free_list = rename.free_list
         for _ in range(self.width):
             if not rob:
                 break
@@ -377,8 +473,8 @@ class Processor:
             rob.popleft()
             if uop.dest_phys is not None:
                 if uop.old_phys is not None:
-                    rename.free(uop.old_phys)
-                rename.commit_rat[uop.dest_arch] = uop.dest_phys
+                    free_list.append(uop.old_phys)
+                commit_rat[uop.dest_arch] = uop.dest_phys
             inst = uop.inst
             if inst.is_store:
                 assert uop.mem_addr is not None
@@ -387,7 +483,7 @@ class Processor:
                 self.store_queue.pop_oldest(uop)
             elif inst.is_load:
                 self.load_queue_used -= 1
-            ev["rob_read"] = ev.get("rob_read", 0) + 1
+            self._ev_rob_read += 1
             self.committed += 1
             self._last_progress = now
             if self.commit_hook is not None:
@@ -422,11 +518,10 @@ class Processor:
             inst = uop.inst
             if inst.is_store:
                 if (not uop.poisoned and uop.addr_known
-                        and self.config.runahead.runahead_cache_enabled):
+                        and self._ra_cache_enabled):
                     assert uop.mem_addr is not None
                     self.runahead_cache.write(uop.mem_addr, uop.store_data)
-                    self.ev["runahead_cache"] = \
-                        self.ev.get("runahead_cache", 0) + 1
+                    self._ev_runahead_cache += 1
                 self.store_queue.pop_oldest(uop)
             elif inst.is_load:
                 self.load_queue_used -= 1
@@ -442,23 +537,25 @@ class Processor:
         """True when the out-of-order window cannot grow further: the ROB
         is full, or a secondary structure (RS/LSQ) has filled behind the
         blocking miss."""
-        core = self.config.core
         return (
-            len(self.rob) >= core.rob_size
-            or self.rs_used >= core.rs_size
+            len(self.rob) >= self._rob_size
+            or self.rs_used >= self._rs_size
             or self.store_queue.full()
-            or self.load_queue_used >= core.load_queue_size
+            or self.load_queue_used >= self._lq_size
         )
 
     def _maybe_enter_runahead(self, now: int) -> None:
-        ra = self.config.runahead
-        if ra.mode is RunaheadMode.NONE:
+        if self._ra_mode_off:
             return
         rob = self.rob
-        if not rob or not self._window_stalled():
+        if not rob:
             return
+        # Cheapest checks first; none of them have side effects, so the
+        # order is free to differ from the logical entry conditions.
         head = rob[0]
         if head.completed or not head.inst.is_load or head.level != "DRAM":
+            return
+        if not self._window_stalled():
             return
         if head.merged:
             # The line is already on its way (e.g. an in-flight prefetch):
@@ -466,8 +563,9 @@ class Processor:
             return
         if head.seq == self._entry_declined_seq:
             return
+        ra = self.config.runahead
         remaining = head.done_cycle - now
-        if remaining < ra.min_interval_cycles:
+        if remaining < self._min_interval:
             self._entry_declined_seq = head.seq
             return
         use_enhancements = ra.enhancements
@@ -587,6 +685,7 @@ class Processor:
         self._take_checkpoint(head, now)
         self._poison_head(head)
         self.mode = "runahead"
+        self._in_ra = True
         self.stats.traditional_intervals += 1
         self.ra_policy.begin_interval("traditional", now)
         if self.tracker is not None:
@@ -608,6 +707,7 @@ class Processor:
         self.rab.load_chain(chain)
         self._rab_start_cycle = now + gen_cycles
         self.mode = "rab"
+        self._in_ra = True
         self.stats.rab_intervals += 1
         self.ra_policy.begin_interval(
             "buffer", now, chain_gen_cycles=gen_cycles, used_chain_cache=used_cc
@@ -645,6 +745,7 @@ class Processor:
             self.predictor.restore_full(self._predictor_checkpoint)
         self.rab.deactivate()
         self.mode = "normal"
+        self._in_ra = False
         self.fetch.redirect(self._blocking_pc, now + 1)
         self._checkpoint = None
         self._exit_cycle = -1
@@ -658,22 +759,10 @@ class Processor:
         ready = self.ready
         if not ready:
             return
-        core = self.config.core
         budget = self.width
-        ports = {
-            UopClass.LOAD: core.mem_ports,
-            UopClass.STORE: core.mem_ports,
-            UopClass.IALU: core.int_alu_units,
-            UopClass.BRANCH: core.int_alu_units,
-            UopClass.NOP: core.int_alu_units,
-            UopClass.IMUL: core.mul_div_units,
-            UopClass.IDIV: core.mul_div_units,
-            UopClass.FADD: core.fp_units,
-            UopClass.FMUL: core.fp_units,
-            UopClass.FDIV: core.fp_units,
-        }
-        skipped: list[InFlightUop] = []
-        ev = self.ev
+        # Per-port budgets, indexed by the statically decoded port class.
+        ports = list(self._port_limits)
+        skipped: Optional[list[InFlightUop]] = None
         while ready and budget > 0:
             uop = ready.popleft()
             if uop.squashed:
@@ -685,35 +774,26 @@ class Processor:
                     data, data_poison = self._read_operand(uop.src2_phys)
                     uop.store_data = data
                     uop.data_known = True
-                    if data_poison and self.mode != "normal":
+                    if data_poison and self._in_ra:
                         uop.poisoned = True
                     heapq.heappush(self.events, (now + 1, uop.seq, uop))
                 continue
-            cls = uop.inst.uop_class
-            if cls in (UopClass.LOAD, UopClass.STORE, UopClass.BRANCH,
-                       UopClass.NOP):
-                port_cls = (UopClass.LOAD if cls in (UopClass.LOAD,
-                                                     UopClass.STORE)
-                            else UopClass.IALU)
-            elif cls in (UopClass.IMUL, UopClass.IDIV):
-                port_cls = UopClass.IMUL
-            elif cls in (UopClass.FADD, UopClass.FMUL, UopClass.FDIV):
-                port_cls = UopClass.FADD
-            else:
-                port_cls = UopClass.IALU
+            port_cls = uop.inst.port_class
             if ports[port_cls] <= 0:
-                skipped.append(uop)
+                if skipped is None:
+                    skipped = [uop]
+                else:
+                    skipped.append(uop)
                 continue
             ports[port_cls] -= 1
             budget -= 1
-            issued = self._execute(uop, now)
-            if issued:
+            if self._execute(uop, now):
                 uop.issued = True
                 self.rs_used -= 1
-                self.stats.issued_uops += 1
-                ev["issue"] = ev.get("issue", 0) + 1
-        for uop in reversed(skipped):
-            ready.appendleft(uop)
+                self._ev_issue += 1
+        if skipped is not None:
+            for uop in reversed(skipped):
+                ready.appendleft(uop)
 
     def _read_operand(self, phys: Optional[int]) -> tuple[int, bool]:
         if phys is None:
@@ -724,35 +804,52 @@ class Processor:
     def _execute(self, uop: InFlightUop, now: int) -> bool:
         """Functionally execute and schedule completion.  Returns False if
         the uop must be re-tried later (memory disambiguation wait)."""
-        core = self.config.core
         inst = uop.inst
-        cls = inst.uop_class
-        a, a_poison = self._read_operand(uop.src1_phys)
-        b, b_poison = self._read_operand(uop.src2_phys)
-        poisoned = (a_poison or b_poison) and self.mode != "normal"
-        ev = self.ev
+        cls = inst.cls_idx
+        prf = self.prf
+        value = prf.value
+        poison = prf.poison
+        s1 = uop.src1_phys
+        s2 = uop.src2_phys
+        if s1 is not None:
+            a = value[s1]
+            a_poison = poison[s1]
+            nsrc = 1
+        else:
+            a = 0
+            a_poison = 0
+            nsrc = 0
+        if s2 is not None:
+            b = value[s2]
+            b_poison = poison[s2]
+            nsrc += 1
+        else:
+            b = 0
+            b_poison = 0
+        in_runahead = self._in_ra
+        poisoned = bool(a_poison or b_poison) and in_runahead
 
-        if cls is UopClass.LOAD:
+        if cls == CLS_LOAD:
             if poisoned:
                 # INV load: no memory access (address is garbage).
                 uop.poisoned = True
                 uop.value = 0
                 self.stats.inv_ops += 1
-                done = now + core.latency_agu + 1
+                done = now + self._lat_agu + 1
             else:
                 done = self._execute_load(uop, a, now)
                 if done < 0:
                     return False
-            ev["agu"] = ev.get("agu", 0) + 1
-        elif cls is UopClass.STORE:
-            ev["agu"] = ev.get("agu", 0) + 1
-            if a_poison and self.mode != "normal":
+            self._ev_agu += 1
+        elif cls == CLS_STORE:
+            self._ev_agu += 1
+            if a_poison and in_runahead:
                 # INV store: the address is garbage, drop it.
                 uop.poisoned = True
                 self.stats.inv_ops += 1
-                done = now + core.latency_agu
+                done = now + self._lat_agu
             else:
-                uop.mem_addr = mem_address(inst, a)
+                uop.mem_addr = (a + inst.imm) & MASK64
                 uop.addr_known = True
                 if self.deferred_loads:
                     # Disambiguation: blocked loads may re-try now.
@@ -760,51 +857,55 @@ class Processor:
                         u for u in self.deferred_loads if not u.squashed
                     )
                     self.deferred_loads.clear()
-                data_phys = uop.src2_phys
-                if data_phys is None or self.prf.ready[data_phys]:
+                if s2 is None or prf.ready[s2]:
                     uop.store_data = b
                     uop.data_known = True
-                    if b_poison and self.mode != "normal":
+                    if b_poison and in_runahead:
                         uop.poisoned = True
-                    done = now + core.latency_agu
+                    done = now + self._lat_agu
                 else:
                     # STA done; STD waits for the data operand.
                     uop.waiting = 1
-                    self.waiters.setdefault(data_phys, []).append(uop)
+                    self.waiters.setdefault(s2, []).append(uop)
                     uop.done_cycle = 0
                     return True
-        elif cls is UopClass.BRANCH:
+        elif cls == CLS_BRANCH:
             uop.poisoned = poisoned
             if inst.is_conditional_branch:
-                uop.taken = False if poisoned else branch_taken(inst, a, b)
+                uop.taken = taken = (False if poisoned
+                                     else inst.taken_fn(inst, a, b))
             else:
-                uop.taken = True
+                uop.taken = taken = True
             if inst.is_call:
-                uop.value = (uop.pc + 1)
+                uop.value = uop.pc + 1
             if not poisoned:
-                uop.actual_next_pc = branch_target(inst, uop.pc, a, uop.taken)
-            done = now + core.latency_branch
-            ev["alu"] = ev.get("alu", 0) + 1
-        elif cls is UopClass.NOP:
+                # Inline branch_target: indirect targets come from rs1,
+                # taken branches from the static target, else fall through.
+                if inst.is_indirect:
+                    uop.actual_next_pc = a & MASK64
+                elif taken:
+                    uop.actual_next_pc = inst.target
+                else:
+                    uop.actual_next_pc = uop.pc + 1
+            done = now + self._lat_branch
+            self._ev_alu += 1
+        elif cls == CLS_NOP:
             done = now + 1
         else:
             uop.poisoned = poisoned
-            uop.value = 0 if poisoned else alu_result(inst, a, b)
-            latency, event = _ALU_LATENCY[cls]
-            done = now + getattr(core, latency)
-            ev[event] = ev.get(event, 0) + 1
+            uop.value = 0 if poisoned else inst.alu_fn(inst, a, b)
+            done = now + self._lat_by_cls[cls]
+            self._ev_fu[cls] += 1
 
-        nsrc = (uop.src1_phys is not None) + (uop.src2_phys is not None)
         if nsrc:
-            ev["prf_read"] = ev.get("prf_read", 0) + nsrc
+            self._ev_prf_read += nsrc
         uop.done_cycle = done
         heapq.heappush(self.events, (done, uop.seq, uop))
         return True
 
     def _execute_load(self, uop: InFlightUop, base: int, now: int) -> int:
         """Returns the completion cycle, or -1 to defer (disambiguation)."""
-        core = self.config.core
-        addr = mem_address(uop.inst, base)
+        addr = (base + uop.inst.imm) & MASK64
         uop.mem_addr = addr
         uop.addr_known = True
         result, store = self.store_queue.search(addr >> 3, uop.seq)
@@ -812,20 +913,20 @@ class Processor:
             uop.deferred = True
             self.deferred_loads.append(uop)
             return -1
-        t_access = now + core.latency_agu
+        t_access = now + self._lat_agu
+        in_runahead = self._in_ra
         if result is ForwardResult.FORWARD:
             assert store is not None
             uop.value = store.store_data
-            uop.poisoned = store.poisoned and self.mode != "normal"
+            uop.poisoned = store.poisoned and in_runahead
             uop.forwarded = True
-            return t_access + self.config.l1d.latency
-        in_runahead = self.mode != "normal"
-        if in_runahead and self.config.runahead.runahead_cache_enabled:
+            return t_access + self._l1d_latency
+        if in_runahead and self._ra_cache_enabled:
             cached = self.runahead_cache.read(addr)
-            self.ev["runahead_cache"] = self.ev.get("runahead_cache", 0) + 1
+            self._ev_runahead_cache += 1
             if cached is not None:
                 uop.value = cached
-                return t_access + self.config.l1d.latency
+                return t_access + self._l1d_latency
         kind = "runahead" if in_runahead else "demand"
         access = self.hierarchy.load(addr, t_access, kind=kind)
         if access.level == "RETRY":
@@ -855,8 +956,8 @@ class Processor:
                         self.stats.runahead_misses_rab += 1
                     else:
                         self.stats.runahead_misses_traditional += 1
-                return t_access + self.config.l1d.latency + 1
-        elif (self.tracker is not None and access.level == "DRAM"
+                return t_access + self._l1d_latency + 1
+        elif (self._tracking and access.level == "DRAM"
                 and not access.merged):
             self.tracker.classify_demand_miss(uop.seq, uop.producer_seqs)
         return access.done_cycle
@@ -866,14 +967,13 @@ class Processor:
     # ------------------------------------------------------------------
 
     def _resources_available(self, inst) -> bool:
-        if len(self.rob) >= self.config.core.rob_size:
+        if len(self.rob) >= self._rob_size:
             return False
-        if self.rs_used >= self.config.core.rs_size:
+        if self.rs_used >= self._rs_size:
             return False
-        if inst.dest() is not None and self.rename.free_count() == 0:
+        if inst.dest_reg is not None and not self.rename.free_list:
             return False
-        if inst.is_load and self.load_queue_used >= \
-                self.config.core.load_queue_size:
+        if inst.is_load and self.load_queue_used >= self._lq_size:
             return False
         if inst.is_store and self.store_queue.full():
             return False
@@ -885,42 +985,50 @@ class Processor:
         prf = self.prf
         uop = InFlightUop(self.seq, pc, inst)
         self.seq += 1
-        uop.runahead = self.mode != "normal"
+        uop.runahead = self._in_ra
         uop.from_rab = from_rab
 
         rat = rename.rat
-        src1 = inst.rs1
-        src2 = inst.rs2
+        ready_bits = prf.ready
+        waiters = self.waiters
+        src1 = inst.src1
+        src2 = inst.src2
+        tracking = self._tracking
         waiting = 0
-        producers = []
-        if src1 is not None and src1 != 0:
+        producers = [] if tracking else None
+        if src1 is not None:
             phys = rat[src1]
             uop.src1_phys = phys
-            producers.append(prf.producer_seq[phys])
-            if not prf.ready[phys]:
-                waiting += 1
-                self.waiters.setdefault(phys, []).append(uop)
-        if src2 is not None and src2 != 0:
+            if tracking:
+                producers.append(prf.producer_seq[phys])
+            if not ready_bits[phys]:
+                waiting = 1
+                waiters.setdefault(phys, []).append(uop)
+        if src2 is not None:
             phys = rat[src2]
             uop.src2_phys = phys
-            producers.append(prf.producer_seq[phys])
+            if tracking:
+                producers.append(prf.producer_seq[phys])
             # STA/STD split: a store's data operand does not gate issue —
             # the address computes as soon as rs1 is ready; the data is
             # picked up when it arrives (see _issue / _execute).
-            if not prf.ready[phys] and not inst.is_store:
+            if not ready_bits[phys] and not inst.is_store:
                 waiting += 1
-                self.waiters.setdefault(phys, []).append(uop)
-        if self.tracker is not None:
+                waiters.setdefault(phys, []).append(uop)
+        if tracking:
             uop.producer_seqs = tuple(producers)
 
-        dest = inst.dest()
+        dest = inst.dest_reg
         if dest is not None:
-            new_phys = rename.alloc()
+            new_phys = rename.free_list.pop()
             uop.dest_arch = dest
             uop.dest_phys = new_phys
             uop.old_phys = rat[dest]
             rat[dest] = new_phys
-            prf.mark_pending(new_phys, uop.seq)
+            # Inlined prf.mark_pending(new_phys, uop.seq).
+            ready_bits[new_phys] = 0
+            prf.poison[new_phys] = 0
+            prf.producer_seq[new_phys] = uop.seq
 
         if fetched is not None:
             uop.predicted_next_pc = fetched.predicted_next_pc
@@ -936,39 +1044,50 @@ class Processor:
         if waiting == 0:
             self.ready.append(uop)
         self.rs_used += 1
-        self.dispatched_total += 1
-        self.stats.dispatched_uops += 1
-        ev = self.ev
-        ev["rename"] = ev.get("rename", 0) + 1
-        ev["rs_dispatch"] = ev.get("rs_dispatch", 0) + 1
-        ev["rob_write"] = ev.get("rob_write", 0) + 1
+        # One counter stands in for every always-equal per-dispatch count
+        # (rename, rs_dispatch, rob_write, dispatched_uops/total); they
+        # are fanned back out in _finalize_stats.
+        self._ev_rename += 1
         return uop
 
     def _dispatch_from_decode(self, now: int) -> None:
         queue = self.decode_queue
+        rob = self.rob
+        free_list = self.rename.free_list
+        store_queue = self.store_queue
         for _ in range(self.width):
-            if not queue or queue[0][0] > now:
+            if not queue:
                 break
-            fetched = queue[0][1]
-            if not self._resources_available(fetched.inst):
+            entry = queue[0]
+            if entry[0] > now:
+                break
+            fetched = entry[1]
+            inst = fetched.inst
+            # Inlined _resources_available (kept in sync with the method,
+            # which the buffer dispatcher still uses).
+            if (len(rob) >= self._rob_size
+                    or self.rs_used >= self._rs_size
+                    or (inst.dest_reg is not None and not free_list)
+                    or (inst.is_load
+                        and self.load_queue_used >= self._lq_size)
+                    or (inst.is_store and store_queue.full())):
                 break
             queue.popleft()
-            self._rename_dispatch(fetched.pc, fetched.inst, fetched, now,
+            self._rename_dispatch(fetched.pc, inst, fetched, now,
                                   from_rab=False)
 
     def _dispatch_from_buffer(self, now: int) -> None:
         rab = self.rab
         if not rab.active:
             return
-        ev = self.ev
         for _ in range(self.width):
             chain_uop = rab.peek()
             if not self._resources_available(chain_uop.inst):
                 break
-            pulled = rab.next_uops(1)[0]
-            self._rename_dispatch(pulled.pc, pulled.inst, None, now,
+            rab.take()
+            self._rename_dispatch(chain_uop.pc, chain_uop.inst, None, now,
                                   from_rab=True)
-            ev["rab_read"] = ev.get("rab_read", 0) + 1
+            self._ev_rab_read += 1
 
     # ------------------------------------------------------------------
     # Fetch
@@ -983,14 +1102,13 @@ class Processor:
             if self.mode == "normal":
                 self.stats.frontend_idle_cycles += 1
             return
-        ready_at = now + self.config.core.fetch_to_rename_cycles
-        ev = self.ev
+        ready_at = now + self._fetch_to_rename
         n = len(group)
-        ev["fetch"] = ev.get("fetch", 0) + n
-        ev["decode"] = ev.get("decode", 0) + n
-        self.stats.fetched_uops += n
+        self._ev_fetch += n
+        self._ev_decode += n
+        append = self.decode_queue.append
         for fetched in group:
-            self.decode_queue.append((ready_at, fetched))
+            append((ready_at, fetched))
 
     # ------------------------------------------------------------------
     # Final statistics
@@ -1040,7 +1158,38 @@ class Processor:
         s.chain_cache_checked_hits = policy.cc_hits_checked
         s.chain_cache_exact_hits = policy.cc_hits_exact
         # Energy events: core-side counters plus memory-side structures.
+        # Hot counters are folded into int attributes during simulation;
+        # merge them with the (cold-path) dict entries here.  Both are
+        # cumulative, so repeated run() calls stay correct.
         events = dict(self.ev)
+        fu = self._ev_fu
+        dispatch_n = self._ev_rename
+        for key, count in (
+            ("prf_write", self._ev_prf_write),
+            ("rs_wakeup", self._ev_rs_wakeup),
+            ("rob_read", self._ev_rob_read),
+            ("issue", self._ev_issue),
+            ("agu", self._ev_agu),
+            ("alu", self._ev_alu + fu[CLS_IALU]),
+            ("mul", fu[CLS_IMUL]),
+            ("div", fu[CLS_IDIV]),
+            ("fpu", fu[CLS_FADD] + fu[CLS_FMUL] + fu[CLS_FDIV]),
+            ("prf_read", self._ev_prf_read),
+            ("rename", dispatch_n),
+            ("rs_dispatch", dispatch_n),
+            ("rob_write", dispatch_n),
+            ("rab_read", self._ev_rab_read),
+            ("fetch", self._ev_fetch),
+            ("decode", self._ev_decode),
+            ("runahead_cache", self._ev_runahead_cache),
+        ):
+            if count:
+                events[key] = events.get(key, 0) + count
+        # These stats are always-equal mirrors of the folded counters.
+        s.dispatched_uops = dispatch_n
+        self.dispatched_total = dispatch_n
+        s.issued_uops = self._ev_issue
+        s.fetched_uops = self._ev_fetch
         events["l1d_access"] = s.l1d_accesses
         events["l1i_access"] = s.l1i_accesses
         events["llc_access"] = s.llc_accesses + h.llc.stats.fill_hits
@@ -1048,14 +1197,3 @@ class Processor:
         events["dram_activate"] = s.dram_activates
         s.energy_events = events
         return s
-
-
-# (latency attribute on CoreConfig, energy event name) per ALU class.
-_ALU_LATENCY = {
-    UopClass.IALU: ("latency_ialu", "alu"),
-    UopClass.IMUL: ("latency_imul", "mul"),
-    UopClass.IDIV: ("latency_idiv", "div"),
-    UopClass.FADD: ("latency_fadd", "fpu"),
-    UopClass.FMUL: ("latency_fmul", "fpu"),
-    UopClass.FDIV: ("latency_fdiv", "fpu"),
-}

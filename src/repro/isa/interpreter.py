@@ -12,14 +12,8 @@ from typing import Iterator, Optional
 
 from .program import Program
 from .registers import NUM_ARCH_REGS
-from .semantics import (
-    DataMemory,
-    alu_result,
-    branch_taken,
-    branch_target,
-    mem_address,
-)
-from .uop import Instruction, Opcode, UopClass
+from .semantics import MASK64, DataMemory, branch_target
+from .uop import CLS_BRANCH, CLS_LOAD, CLS_STORE, Instruction, Opcode
 
 
 @dataclass(frozen=True)
@@ -69,36 +63,42 @@ class Interpreter:
             raise RuntimeError("interpreter is halted")
         pc = self.pc
         inst = self.program.fetch(pc)
-        a = self.read_reg(inst.rs1) if inst.rs1 is not None else 0
-        b = self.read_reg(inst.rs2) if inst.rs2 is not None else 0
+        regs = self.regs
+        # R0 is folded out at decode (src1/src2 are None for R0), so raw
+        # rs1/rs2 reads must still mask it; use the decoded operands.
+        a = regs[inst.src1] if inst.src1 is not None else 0
+        b = regs[inst.src2] if inst.src2 is not None else 0
 
         dest_value: Optional[int] = None
         addr: Optional[int] = None
         taken: Optional[bool] = None
         next_pc = pc + 1
 
-        cls = inst.uop_class
-        if cls is UopClass.LOAD:
-            addr = mem_address(inst, a)
+        cls = inst.cls_idx
+        if cls == CLS_LOAD:
+            addr = (a + inst.imm) & MASK64
             dest_value = self.memory.load(addr)
-            self.write_reg(inst.rd, dest_value)
-        elif cls is UopClass.STORE:
-            addr = mem_address(inst, a)
+            if inst.dest_reg is not None:
+                regs[inst.dest_reg] = dest_value
+        elif cls == CLS_STORE:
+            addr = (a + inst.imm) & MASK64
             self.memory.store(addr, b)
-        elif cls is UopClass.BRANCH:
+        elif cls == CLS_BRANCH:
             if inst.is_conditional_branch:
-                taken = branch_taken(inst, a, b)
+                taken = inst.taken_fn(inst, a, b)
             else:
                 taken = True
             if inst.is_call:
-                dest_value = (pc + 1) & ((1 << 64) - 1)
-                self.write_reg(inst.rd, dest_value)
+                dest_value = (pc + 1) & MASK64
+                if inst.dest_reg is not None:
+                    regs[inst.dest_reg] = dest_value
             next_pc = branch_target(inst, pc, a, taken)
         elif inst.opcode is Opcode.HALT:
             self.halted = True
         elif inst.opcode is not Opcode.NOP:
-            dest_value = alu_result(inst, a, b)
-            self.write_reg(inst.rd, dest_value)
+            dest_value = inst.alu_fn(inst, a, b)
+            if inst.dest_reg is not None:
+                regs[inst.dest_reg] = dest_value
 
         self.pc = next_pc
         seq = self.retired

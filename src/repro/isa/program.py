@@ -15,7 +15,15 @@ from .uop import Instruction, Opcode
 
 
 class Program:
-    """An immutable sequence of instructions plus an entry PC."""
+    """An immutable sequence of instructions plus an entry PC.
+
+    Construction builds the *static decode tables*: flat per-PC tuples of
+    the facts the fetch stage re-derives most often (branch/halt bits).
+    The fetch unit indexes these instead of touching instruction objects
+    until a uop is actually produced, and the instruction objects
+    themselves carry every other decode fact as plain attributes (see
+    ``repro.isa.uop``).
+    """
 
     def __init__(
         self,
@@ -31,6 +39,13 @@ class Program:
         self.entry = entry
         self.name = name
         self._nop = Instruction(Opcode.NOP)
+        # Static decode tables (flat, index == PC).
+        self.is_branch_at: tuple[bool, ...] = tuple(
+            inst.is_branch for inst in self.instructions
+        )
+        self.is_halt_at: tuple[bool, ...] = tuple(
+            inst.is_halt for inst in self.instructions
+        )
 
     def __len__(self) -> int:
         return len(self.instructions)

@@ -9,7 +9,7 @@ are 64-bit two's-complement, represented as Python ints in
 
 from __future__ import annotations
 
-from .uop import Instruction, Opcode
+from .uop import ALU_FN_TABLE, TAKEN_FN_TABLE, Instruction, Opcode
 
 MASK64 = (1 << 64) - 1
 SIGN_BIT = 1 << 63
@@ -26,6 +26,117 @@ def to_unsigned(value: int) -> int:
     return value & MASK64
 
 
+# -- per-opcode semantic functions ------------------------------------------
+#
+# One small module-level function per opcode, bound onto each decoded
+# Instruction (``inst.alu_fn`` / ``inst.taken_fn``) via the tables in
+# ``repro.isa.uop``.  The cycle loop calls the bound function directly —
+# no per-uop opcode dispatch.  Module-level (not closures) keeps
+# instructions picklable.
+
+def _sem_add(inst: Instruction, a: int, b: int) -> int:
+    return (a + b) & MASK64
+
+
+def _sem_sub(inst: Instruction, a: int, b: int) -> int:
+    return (a - b) & MASK64
+
+
+def _sem_and(inst: Instruction, a: int, b: int) -> int:
+    return a & b
+
+
+def _sem_or(inst: Instruction, a: int, b: int) -> int:
+    return a | b
+
+
+def _sem_xor(inst: Instruction, a: int, b: int) -> int:
+    return a ^ b
+
+
+def _sem_shl(inst: Instruction, a: int, b: int) -> int:
+    return (a << (b & 63)) & MASK64
+
+
+def _sem_shr(inst: Instruction, a: int, b: int) -> int:
+    return (a >> (b & 63)) & MASK64
+
+
+def _sem_addi(inst: Instruction, a: int, b: int) -> int:
+    return (a + inst.imm) & MASK64
+
+
+def _sem_andi(inst: Instruction, a: int, b: int) -> int:
+    return a & inst.imm & MASK64
+
+
+def _sem_mov(inst: Instruction, a: int, b: int) -> int:
+    return a
+
+
+def _sem_li(inst: Instruction, a: int, b: int) -> int:
+    return inst.imm & MASK64
+
+
+def _sem_mul(inst: Instruction, a: int, b: int) -> int:
+    return (a * b) & MASK64
+
+
+def _sem_div(inst: Instruction, a: int, b: int) -> int:
+    if b == 0:
+        return 0
+    return (to_signed(a) // to_signed(b)) & MASK64
+
+
+def _sem_zero(inst: Instruction, a: int, b: int) -> int:
+    return 0
+
+
+def _taken_beq(inst: Instruction, a: int, b: int) -> bool:
+    return a == b
+
+
+def _taken_bne(inst: Instruction, a: int, b: int) -> bool:
+    return a != b
+
+
+def _taken_blt(inst: Instruction, a: int, b: int) -> bool:
+    return to_signed(a) < to_signed(b)
+
+
+def _taken_bge(inst: Instruction, a: int, b: int) -> bool:
+    return to_signed(a) >= to_signed(b)
+
+
+ALU_FN_TABLE.update({
+    Opcode.ADD: _sem_add,
+    Opcode.FADD: _sem_add,
+    Opcode.SUB: _sem_sub,
+    Opcode.AND: _sem_and,
+    Opcode.OR: _sem_or,
+    Opcode.XOR: _sem_xor,
+    Opcode.SHL: _sem_shl,
+    Opcode.SHR: _sem_shr,
+    Opcode.ADDI: _sem_addi,
+    Opcode.ANDI: _sem_andi,
+    Opcode.MOV: _sem_mov,
+    Opcode.LI: _sem_li,
+    Opcode.MUL: _sem_mul,
+    Opcode.FMUL: _sem_mul,
+    Opcode.DIV: _sem_div,
+    Opcode.FDIV: _sem_div,
+    Opcode.NOP: _sem_zero,
+    Opcode.HALT: _sem_zero,
+})
+
+TAKEN_FN_TABLE.update({
+    Opcode.BEQ: _taken_beq,
+    Opcode.BNE: _taken_bne,
+    Opcode.BLT: _taken_blt,
+    Opcode.BGE: _taken_bge,
+})
+
+
 def alu_result(inst: Instruction, a: int, b: int) -> int:
     """Compute the result of a non-memory, non-branch micro-op.
 
@@ -33,38 +144,10 @@ def alu_result(inst: Instruction, a: int, b: int) -> int:
     FP opcodes are evaluated with integer arithmetic — only their latency
     class differs; workload semantics never depend on FP rounding.
     """
-    op = inst.opcode
-    if op is Opcode.ADD or op is Opcode.FADD:
-        return (a + b) & MASK64
-    if op is Opcode.SUB:
-        return (a - b) & MASK64
-    if op is Opcode.AND:
-        return a & b
-    if op is Opcode.OR:
-        return a | b
-    if op is Opcode.XOR:
-        return a ^ b
-    if op is Opcode.SHL:
-        return (a << (b & 63)) & MASK64
-    if op is Opcode.SHR:
-        return (a >> (b & 63)) & MASK64
-    if op is Opcode.ADDI:
-        return (a + inst.imm) & MASK64
-    if op is Opcode.ANDI:
-        return a & inst.imm & MASK64
-    if op is Opcode.MOV:
-        return a
-    if op is Opcode.LI:
-        return inst.imm & MASK64
-    if op is Opcode.MUL or op is Opcode.FMUL:
-        return (a * b) & MASK64
-    if op is Opcode.DIV or op is Opcode.FDIV:
-        if b == 0:
-            return 0
-        return (to_signed(a) // to_signed(b)) & MASK64
-    if op is Opcode.NOP or op is Opcode.HALT:
-        return 0
-    raise ValueError(f"not an ALU opcode: {op}")
+    fn = ALU_FN_TABLE.get(inst.opcode)
+    if fn is None:
+        raise ValueError(f"not an ALU opcode: {inst.opcode}")
+    return fn(inst, a, b)
 
 
 def mem_address(inst: Instruction, base: int) -> int:
@@ -74,16 +157,10 @@ def mem_address(inst: Instruction, base: int) -> int:
 
 def branch_taken(inst: Instruction, a: int, b: int) -> bool:
     """Resolve a conditional branch from its source values."""
-    op = inst.opcode
-    if op is Opcode.BEQ:
-        return a == b
-    if op is Opcode.BNE:
-        return a != b
-    if op is Opcode.BLT:
-        return to_signed(a) < to_signed(b)
-    if op is Opcode.BGE:
-        return to_signed(a) >= to_signed(b)
-    raise ValueError(f"not a conditional branch: {op}")
+    fn = TAKEN_FN_TABLE.get(inst.opcode)
+    if fn is None:
+        raise ValueError(f"not a conditional branch: {inst.opcode}")
+    return fn(inst, a, b)
 
 
 def branch_target(inst: Instruction, pc: int, a: int, taken: bool) -> int:

@@ -5,6 +5,14 @@ x86 front-end cracks instructions into uops; our RISC-like ISA is already at
 uop granularity, so decode is 1:1 — documented as a fidelity trade-off in
 DESIGN.md).  Static instructions live in a :class:`~repro.isa.program.Program`
 and are indexed by PC.
+
+Decode is *static*: every classification fact a pipeline stage needs
+(``is_load``, ``is_branch``, the issue-port class, the register operands
+with R0 folded out, the bound semantic function) is computed once in
+``Instruction.__init__`` and stored as a plain attribute.  The cycle loop
+never hashes an :class:`Opcode` or walks an if-chain per dynamic uop —
+this is the "static decode table" half of the simulator's hot-path
+optimization pass (the flat per-PC arrays live on ``Program``).
 """
 
 from __future__ import annotations
@@ -67,6 +75,28 @@ class UopClass(enum.Enum):
     NOP = "nop"
 
 
+# Flat integer ids for UopClass members: hot paths compare/index with these
+# instead of hashing enum members.  Order matches the declaration above.
+(CLS_LOAD, CLS_STORE, CLS_IALU, CLS_IMUL, CLS_IDIV,
+ CLS_FADD, CLS_FMUL, CLS_FDIV, CLS_BRANCH, CLS_NOP) = range(10)
+UCLASS_IDX: dict[UopClass, int] = {cls: i for i, cls in enumerate(UopClass)}
+NUM_UOP_CLASSES = len(UopClass)
+
+# Issue-port groups (indices into the per-cycle port-availability list).
+PORT_MEM, PORT_ALU, PORT_MULDIV, PORT_FP = range(4)
+_PORT_OF_CLASS = {
+    UopClass.LOAD: PORT_MEM,
+    UopClass.STORE: PORT_MEM,
+    UopClass.IALU: PORT_ALU,
+    UopClass.BRANCH: PORT_ALU,
+    UopClass.NOP: PORT_ALU,
+    UopClass.IMUL: PORT_MULDIV,
+    UopClass.IDIV: PORT_MULDIV,
+    UopClass.FADD: PORT_FP,
+    UopClass.FMUL: PORT_FP,
+    UopClass.FDIV: PORT_FP,
+}
+
 _OPCODE_CLASS = {
     Opcode.LD: UopClass.LOAD,
     Opcode.ST: UopClass.STORE,
@@ -106,6 +136,13 @@ UNCONDITIONAL_BRANCHES = frozenset(
     {Opcode.JMP, Opcode.JR, Opcode.CALL, Opcode.RET}
 )
 
+# Per-opcode bound semantic functions, populated by ``repro.isa.semantics``
+# at import time (the package __init__ imports semantics before any
+# instruction can be built, so instances always see the filled tables).
+# Living here avoids a circular import: semantics imports this module.
+ALU_FN_TABLE: dict[Opcode, object] = {}
+TAKEN_FN_TABLE: dict[Opcode, object] = {}
+
 
 class Instruction:
     """A static instruction (== one decoded micro-op).
@@ -113,9 +150,25 @@ class Instruction:
     ``rd``, ``rs1``, ``rs2`` are architectural register indices (or ``None``
     when unused); ``imm`` is a signed immediate; ``target`` is a static
     branch/jump target PC (``None`` for indirect branches).
+
+    All classification facts (``is_load`` ...) are plain attributes,
+    precomputed at decode; only ``target`` is mutated after construction
+    (label fixups in the assembler), and no precomputed fact depends on it.
     """
 
-    __slots__ = ("opcode", "rd", "rs1", "rs2", "imm", "target", "uop_class")
+    __slots__ = (
+        "opcode", "rd", "rs1", "rs2", "imm", "target", "uop_class",
+        # Static decode facts (flat attributes — no properties, no enum
+        # hashing on the cycle loop).
+        "cls_idx", "port_class",
+        "is_load", "is_store", "is_mem", "is_branch",
+        "is_conditional_branch", "is_indirect", "is_call", "is_return",
+        "is_halt",
+        # Register operands with the constant R0 folded out.
+        "src1", "src2", "dest_reg",
+        # Bound semantics: fn(inst, a, b) -> value / taken.
+        "alu_fn", "taken_fn",
+    )
 
     def __init__(
         self,
@@ -132,60 +185,37 @@ class Instruction:
         self.rs2 = rs2
         self.imm = imm
         self.target = target
-        self.uop_class = _OPCODE_CLASS[opcode]
-
-    # -- classification helpers -------------------------------------------
-
-    @property
-    def is_load(self) -> bool:
-        return self.opcode is Opcode.LD
-
-    @property
-    def is_store(self) -> bool:
-        return self.opcode is Opcode.ST
-
-    @property
-    def is_mem(self) -> bool:
-        return self.uop_class in (UopClass.LOAD, UopClass.STORE)
-
-    @property
-    def is_branch(self) -> bool:
-        return self.uop_class is UopClass.BRANCH
-
-    @property
-    def is_conditional_branch(self) -> bool:
-        return self.opcode in CONDITIONAL_BRANCHES
-
-    @property
-    def is_indirect(self) -> bool:
-        return self.opcode in INDIRECT_BRANCHES
-
-    @property
-    def is_call(self) -> bool:
-        return self.opcode is Opcode.CALL
-
-    @property
-    def is_return(self) -> bool:
-        return self.opcode is Opcode.RET
-
-    @property
-    def is_halt(self) -> bool:
-        return self.opcode is Opcode.HALT
+        cls = _OPCODE_CLASS[opcode]
+        self.uop_class = cls
+        self.cls_idx = UCLASS_IDX[cls]
+        self.port_class = _PORT_OF_CLASS[cls]
+        self.is_load = opcode is Opcode.LD
+        self.is_store = opcode is Opcode.ST
+        self.is_mem = self.is_load or self.is_store
+        self.is_branch = cls is UopClass.BRANCH
+        self.is_conditional_branch = opcode in CONDITIONAL_BRANCHES
+        self.is_indirect = opcode in INDIRECT_BRANCHES
+        self.is_call = opcode is Opcode.CALL
+        self.is_return = opcode is Opcode.RET
+        self.is_halt = opcode is Opcode.HALT
+        self.src1 = rs1 if rs1 is not None and rs1 != 0 else None
+        self.src2 = rs2 if rs2 is not None and rs2 != 0 else None
+        self.dest_reg = rd if rd is not None and rd != 0 else None
+        self.alu_fn = ALU_FN_TABLE.get(opcode)
+        self.taken_fn = TAKEN_FN_TABLE.get(opcode)
 
     def sources(self) -> tuple[int, ...]:
         """Architectural source register indices (R0 excluded: it is constant)."""
         srcs = []
-        if self.rs1 is not None and self.rs1 != 0:
-            srcs.append(self.rs1)
-        if self.rs2 is not None and self.rs2 != 0:
-            srcs.append(self.rs2)
+        if self.src1 is not None:
+            srcs.append(self.src1)
+        if self.src2 is not None:
+            srcs.append(self.src2)
         return tuple(srcs)
 
     def dest(self) -> Optional[int]:
         """Architectural destination register (``None`` if none or R0)."""
-        if self.rd is None or self.rd == 0:
-            return None
-        return self.rd
+        return self.dest_reg
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         parts = [self.opcode.name]
@@ -204,3 +234,10 @@ class Instruction:
     def key(self) -> tuple:
         """Structural identity tuple (used for exact chain comparison)."""
         return (self.opcode, self.rd, self.rs1, self.rs2, self.imm, self.target)
+
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)

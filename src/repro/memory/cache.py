@@ -61,6 +61,16 @@ class Cache:
         self._sets: list[OrderedDict[int, CacheLine]] = [
             OrderedDict() for _ in range(self.num_sets)
         ]
+        self._resident = 0
+        # MRU fast path: the last line that reached the tail of its set via
+        # a touching lookup or a fill.  While it holds, a repeat access can
+        # skip both the set indexing and the (no-op) ``move_to_end``.  The
+        # invariant is maintained by updating it on every touch/fill and
+        # clearing it when the tracked line is invalidated or the arrays
+        # are cleared; a fill into any set replaces it with the filled
+        # line, so a stale "no longer at tail" key can never survive.
+        self._mru_key = -1
+        self._mru_line: Optional[CacheLine] = None
         self.stats = CacheStats()
         # Called with the victim line address on eviction (inclusion hook).
         self.eviction_hook: Optional[Callable[[int, CacheLine], None]] = None
@@ -75,15 +85,22 @@ class Cache:
 
         Does not update hit/miss statistics; callers classify the access.
         """
-        cache_set = self._set_for(line_addr)
+        if line_addr == self._mru_key:
+            # Already at the tail of its set: move_to_end would be a no-op.
+            return self._mru_line
+        cache_set = self._sets[line_addr % self.num_sets]
         line = cache_set.get(line_addr)
         if line is not None and touch:
             cache_set.move_to_end(line_addr)
+            self._mru_key = line_addr
+            self._mru_line = line
         return line
 
     def probe(self, line_addr: int) -> bool:
         """Non-intrusive presence check (no LRU update, no stats)."""
-        return line_addr in self._set_for(line_addr)
+        if line_addr == self._mru_key:
+            return True
+        return line_addr in self._sets[line_addr % self.num_sets]
 
     # -- fills / evictions ------------------------------------------------------
 
@@ -96,22 +113,38 @@ class Cache:
         displaced, else ``None``.  Filling a line that is already present
         just lowers its ready time (fill merge).
         """
-        cache_set = self._set_for(line_addr)
+        if line_addr == self._mru_key:
+            # Fill merge on the MRU line: already at the tail of its set.
+            existing = self._mru_line
+            if existing.ready_cycle > ready_cycle:
+                existing.ready_cycle = ready_cycle
+            return None
+        cache_set = self._sets[line_addr % self.num_sets]
         existing = cache_set.get(line_addr)
         if existing is not None:
             existing.ready_cycle = min(existing.ready_cycle, ready_cycle)
             cache_set.move_to_end(line_addr)
+            self._mru_key = line_addr
+            self._mru_line = existing
             return None
         victim = None
         if len(cache_set) >= self.assoc:
             victim_addr, victim_line = cache_set.popitem(last=False)
             self.stats.evictions += 1
+            self._resident -= 1
             if victim_line.dirty:
                 self.stats.writebacks += 1
+            if victim_addr == self._mru_key:
+                self._mru_key = -1
+                self._mru_line = None
             victim = (victim_addr, victim_line)
             if self.eviction_hook is not None:
                 self.eviction_hook(victim_addr, victim_line)
-        cache_set[line_addr] = CacheLine(ready_cycle, prefetched=prefetched)
+        line = CacheLine(ready_cycle, prefetched=prefetched)
+        cache_set[line_addr] = line
+        self._resident += 1
+        self._mru_key = line_addr
+        self._mru_line = line
         return victim
 
     def invalidate(self, line_addr: int) -> Optional[CacheLine]:
@@ -120,6 +153,10 @@ class Cache:
         line = cache_set.pop(line_addr, None)
         if line is not None:
             self.stats.invalidations += 1
+            self._resident -= 1
+            if line_addr == self._mru_key:
+                self._mru_key = -1
+                self._mru_line = None
         return line
 
     def mark_dirty(self, line_addr: int) -> None:
@@ -130,8 +167,12 @@ class Cache:
     # -- introspection -----------------------------------------------------------
 
     def resident_lines(self) -> int:
-        return sum(len(s) for s in self._sets)
+        """Number of resident (or in-fill) lines — O(1), counter-maintained."""
+        return self._resident
 
     def clear(self) -> None:
         for cache_set in self._sets:
             cache_set.clear()
+        self._resident = 0
+        self._mru_key = -1
+        self._mru_line = None

@@ -134,24 +134,27 @@ class MemoryHierarchy:
         cycle an MSHR frees — the core must re-issue the load.  This is
         the backpressure that bounds how far any runahead mode can run.
         """
-        line_addr = self.line_of(addr)
-        if not self.l1d.probe(line_addr) and not self.llc.probe(line_addr):
+        line_addr = addr >> self._line_shift
+        l1d = self.l1d
+        # Single L1D lookup: a miss has no side effects (no LRU update, no
+        # stats), so probing first would be redundant work on every access.
+        line = l1d.lookup(line_addr)
+        l1_latency = l1d.latency
+        if line is not None:
+            if line.ready_cycle <= now:
+                l1d.stats.hits += 1
+                return AccessResult(now + l1_latency, "L1")
+            # Fill in flight: merge with it.
+            l1d.stats.fill_hits += 1
+            return AccessResult(
+                max(line.ready_cycle, now + l1_latency), "L1", merged=True
+            )
+        if not self.llc.probe(line_addr):
             free_at = self._mshr_free_at(now, kind)
             if free_at:
                 self.mshr_rejections += 1
                 return AccessResult(free_at, "RETRY")
-        l1_latency = self.l1d.latency
-        line = self.l1d.lookup(line_addr)
-        if line is not None:
-            if line.ready_cycle <= now:
-                self.l1d.stats.hits += 1
-                return AccessResult(now + l1_latency, "L1")
-            # Fill in flight: merge with it.
-            self.l1d.stats.fill_hits += 1
-            return AccessResult(
-                max(line.ready_cycle, now + l1_latency), "L1", merged=True
-            )
-        self.l1d.stats.misses += 1
+        l1d.stats.misses += 1
         return self._llc_load(line_addr, now + l1_latency, kind, fill_l1=True)
 
     def _llc_load(self, line_addr: int, now: int, kind: str,
@@ -238,14 +241,11 @@ class MemoryHierarchy:
 
     def warm_load(self, addr: int) -> None:
         """Functionally warm the caches (no timing, no prefetcher training)."""
-        line_addr = self.line_of(addr)
-        if self.l1d.probe(line_addr):
-            self.l1d.lookup(line_addr)
+        line_addr = addr >> self._line_shift
+        if self.l1d.lookup(line_addr) is not None:
             return
-        if not self.llc.probe(line_addr):
+        if self.llc.lookup(line_addr) is None:
             self.llc.fill(line_addr, 0)
-        else:
-            self.llc.lookup(line_addr)
         self.l1d.fill(line_addr, 0)
 
     def warm_ifetch(self, addr: int) -> None:

@@ -51,6 +51,21 @@ class RunaheadBuffer:
             raise RuntimeError("runahead buffer is empty")
         return self._chain[self._cursor]
 
+    def take(self) -> ChainUop:
+        """One uop, advancing the loop cursor (== ``next_uops(1)[0]`` but
+        without the list allocation — the rename stage's hot path)."""
+        chain = self._chain
+        if not chain:
+            raise RuntimeError("runahead buffer is empty")
+        cursor = self._cursor
+        if cursor == 0:
+            self.iterations_started += 1
+        uop = chain[cursor]
+        cursor += 1
+        self._cursor = 0 if cursor == len(chain) else cursor
+        self.uops_issued += 1
+        return uop
+
     def next_uops(self, width: int) -> list[ChainUop]:
         """Up to ``width`` uops, wrapping around the chain (the loop)."""
         if not self._chain:

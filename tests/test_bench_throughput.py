@@ -1,0 +1,84 @@
+"""Throughput-benchmark harness tests (``repro.analysis.bench``).
+
+The numbers themselves are host-dependent; these tests pin the parts
+that must not drift: the geomean, the result-document schema, the
+before/after speedup math, and the CI regression gate.
+"""
+
+import pytest
+
+from repro.analysis import bench
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert bench.geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_single_value(self):
+        assert bench.geomean([7.5]) == pytest.approx(7.5)
+
+    def test_empty_and_nonpositive(self):
+        assert bench.geomean([]) == 0.0
+        assert bench.geomean([0.0, -1.0]) == 0.0
+
+    def test_ignores_nonpositive_entries(self):
+        assert bench.geomean([0.0, 4.0, 16.0]) == pytest.approx(8.0)
+
+
+class TestAttachBefore:
+    def test_speedup_math(self):
+        doc = {"geomean_kips": {"normal": 100.0, "rab": 60.0, "overall": 80.0}}
+        before = {
+            "generated": "t0",
+            "geomean_kips": {"normal": 50.0, "rab": 30.0, "overall": 40.0},
+            "results": [],
+        }
+        out = bench.attach_before(doc, before)
+        assert out["speedup_vs_before"] == {
+            "normal": 2.0, "rab": 2.0, "overall": 2.0,
+        }
+        assert out["before"]["generated"] == "t0"
+        assert "before" not in doc          # the input document is not mutated
+
+    def test_missing_before_mode_skipped(self):
+        doc = {"geomean_kips": {"normal": 100.0}}
+        out = bench.attach_before(doc, {"geomean_kips": {}})
+        assert out["speedup_vs_before"] == {}
+
+
+class TestCheckRegression:
+    BASELINE = {"geomean_kips": {"normal": 100.0, "rab": 60.0, "overall": 80.0}}
+
+    def test_within_tolerance_passes(self):
+        current = {"geomean_kips": {"normal": 75.0, "rab": 45.0}}
+        assert bench.check_regression(current, self.BASELINE,
+                                      tolerance=0.30) == []
+
+    def test_regression_reported_per_mode(self):
+        current = {"geomean_kips": {"normal": 50.0, "rab": 60.0}}
+        failures = bench.check_regression(current, self.BASELINE,
+                                          tolerance=0.30)
+        assert len(failures) == 1
+        assert failures[0].startswith("normal")
+
+    def test_overall_and_missing_modes_ignored(self):
+        # "overall" is derived from the per-mode geomeans, and modes absent
+        # from the current run (a shrunk grid) must not fail the gate.
+        current = {"geomean_kips": {"overall": 1.0}}
+        assert bench.check_regression(current, self.BASELINE) == []
+
+
+def test_run_benchmark_schema_and_roundtrip(tmp_path):
+    doc = bench.run_benchmark(workloads=("mcf",), modes=("normal",),
+                              instructions=1500, warmup=500, reps=1)
+    assert doc["schema"] == bench.SCHEMA
+    (cell,) = doc["results"]
+    assert cell["workload"] == "mcf"
+    assert cell["mode"] == "normal"
+    assert cell["config"] == bench.MODES["normal"]
+    assert cell["committed"] >= 1500
+    assert cell["kips"] > 0
+    assert doc["geomean_kips"]["normal"] == pytest.approx(cell["kips"])
+    assert doc["geomean_kips"]["overall"] == pytest.approx(cell["kips"])
+    path = bench.write_results(doc, tmp_path / "bench.json")
+    assert bench.load_results(path) == doc

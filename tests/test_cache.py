@@ -1,5 +1,7 @@
 """Set-associative cache model tests."""
 
+from collections import OrderedDict
+
 from hypothesis import given, settings, strategies as st
 
 from repro.config import CacheConfig
@@ -142,3 +144,93 @@ class TestOccupancy:
         for addr in addrs:
             cache.fill(addr, 0)
             assert cache.probe(addr)
+
+
+class TestMruFastPath:
+    """The MRU shortcut must be invisible: same lines, same LRU order."""
+
+    def test_repeat_lookup_returns_same_line(self):
+        cache = make_cache()
+        cache.fill(5, 0)
+        first = cache.lookup(5)
+        assert cache.lookup(5) is first
+
+    def test_repeat_lookup_keeps_lru_exact(self):
+        cache = make_cache(assoc=2)
+        sets = cache.num_sets
+        a, b, c = 0, sets, 2 * sets
+        cache.fill(a, 0)
+        cache.fill(b, 0)
+        for _ in range(3):
+            cache.lookup(a)     # first touch is slow-path, the rest MRU
+        cache.fill(c, 0)        # evicts b: a is most recently used
+        assert cache.probe(a)
+        assert not cache.probe(b)
+
+    def test_fill_merge_on_mru_line(self):
+        cache = make_cache()
+        cache.fill(7, ready_cycle=100)
+        cache.lookup(7)               # 7 is now the tracked MRU line
+        cache.fill(7, ready_cycle=50)
+        assert cache.lookup(7).ready_cycle == 50
+        cache.fill(7, ready_cycle=200)  # merge must never raise ready time
+        assert cache.lookup(7).ready_cycle == 50
+
+    def test_invalidate_clears_mru(self):
+        cache = make_cache()
+        cache.fill(5, 0)
+        cache.lookup(5)
+        cache.invalidate(5)
+        assert not cache.probe(5)
+        assert cache.lookup(5) is None
+
+    def test_evicting_the_mru_line_clears_it(self):
+        cache = make_cache(assoc=1)
+        sets = cache.num_sets
+        cache.fill(0, 0)
+        cache.lookup(0)
+        cache.fill(sets, 0)     # 1-way set: evicts the tracked line
+        assert not cache.probe(0)
+        assert cache.lookup(0) is None
+        assert cache.probe(sets)
+
+    def test_clear_resets_mru(self):
+        cache = make_cache()
+        cache.fill(5, 0)
+        cache.lookup(5)
+        cache.clear()
+        assert not cache.probe(5)
+        assert cache.lookup(5) is None
+
+    @given(ops=st.lists(
+        st.tuples(st.sampled_from(["fill", "lookup", "probe", "invalidate"]),
+                  st.integers(min_value=0, max_value=64)),
+        min_size=1, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_plain_lru_reference(self, ops):
+        # Differential check: replay the same ops against a reference that
+        # has no fast path, then compare per-set contents *and order*.
+        cache = make_cache(size=512, assoc=2, line=64)
+        ref = [OrderedDict() for _ in range(cache.num_sets)]
+        for op, addr in ops:
+            rset = ref[addr % cache.num_sets]
+            if op == "fill":
+                cache.fill(addr, 0)
+                if addr in rset:
+                    rset.move_to_end(addr)
+                else:
+                    if len(rset) >= cache.assoc:
+                        rset.popitem(last=False)
+                    rset[addr] = True
+            elif op == "lookup":
+                hit = cache.lookup(addr) is not None
+                assert hit == (addr in rset)
+                if hit:
+                    rset.move_to_end(addr)
+            elif op == "probe":
+                assert cache.probe(addr) == (addr in rset)
+            else:
+                cache.invalidate(addr)
+                rset.pop(addr, None)
+        for cache_set, rset in zip(cache._sets, ref):
+            assert list(cache_set) == list(rset)

@@ -115,3 +115,56 @@ def test_snapshot_attached_to_branches():
     fetch, _ = make_fetch(b.build())
     group = fetch.fetch_cycle(now=0)
     assert group[0].snapshot is not None
+
+
+def test_line_ready_map_is_bounded_lru():
+    # Walk fetch across three I-cache lines with a cap of two: the map
+    # must stay bounded and evict the *oldest* line, not a recent one.
+    fetch, _ = make_fetch(straight_line(16 * 4))
+    fetch._line_ready_cap = 2
+    now = 0
+    while fetch.pc < 16 * 2 + 1:   # lines 0, 1 and 2 all touched
+        fetch.fetch_cycle(now)
+        now += 1
+    assert len(fetch._line_ready) <= 2
+    assert set(fetch._line_ready) == {1, 2}
+
+
+def test_line_ready_retouch_refreshes_lru():
+    # Re-touching a cached line moves it to the recent end, so the cap
+    # evicts the least-recently used line instead.
+    fetch, _ = make_fetch(straight_line(16 * 4))
+    fetch._line_ready_cap = 2
+    fetch._icache_ready(0, now=0)    # line 0
+    fetch._icache_ready(16, now=0)   # line 1
+    fetch._icache_ready(0, now=0)    # line 0 again: now most recent
+    fetch._icache_ready(32, now=0)   # line 2 evicts line 1
+    assert set(fetch._line_ready) == {0, 2}
+
+
+def test_redirect_clears_line_ready():
+    fetch, _ = make_fetch(straight_line(40))
+    fetch.fetch_cycle(now=0)
+    assert fetch._line_ready and fetch._last_line != -1
+    fetch.redirect(0, at_cycle=5)
+    assert not fetch._line_ready
+    assert fetch._last_line == -1
+
+
+def test_flush_clears_line_ready():
+    fetch, _ = make_fetch(straight_line(40))
+    fetch.fetch_cycle(now=0)
+    fetch.flush()
+    assert not fetch._line_ready
+    assert fetch._last_line == -1
+
+
+def test_redirect_reprobes_icache():
+    # After a redirect the cached ready cycles are stale; the next fetch
+    # must consult the cache hierarchy again rather than the cleared map.
+    fetch, _ = make_fetch(straight_line(40))
+    fetch.fetch_cycle(now=0)
+    before = fetch.hierarchy.l1i.stats.accesses
+    fetch.redirect(0, at_cycle=1)
+    fetch.fetch_cycle(now=1)
+    assert fetch.hierarchy.l1i.stats.accesses > before
