@@ -39,8 +39,14 @@ class StoreQueue:
         self.entries.append(uop)
 
     def pop_oldest(self, uop: InFlightUop) -> None:
-        if self.entries and self.entries[0] is uop:
-            self.entries.pop(0)
+        if not self.entries or self.entries[0] is not uop:
+            head = self.entries[0] if self.entries else None
+            raise RuntimeError(
+                f"store retired out of order: committing seq="
+                f"{uop.seq} but the store-queue head is "
+                f"{'empty' if head is None else f'seq={head.seq}'}"
+            )
+        self.entries.pop(0)
 
     def squash_younger(self, boundary_seq: int) -> None:
         entries = self.entries

@@ -19,6 +19,11 @@ Commands
     host second) over a workload x mode grid and write
     ``BENCH_sim_throughput.json``; optionally gate on a committed
     baseline (``--check``) or print a cProfile report (``--profile``).
+``verify``
+    Differentially fuzz the OoO core against the functional interpreter
+    oracle: random structured programs, every core mode, retirement
+    streams and final state diffed op for op.  Failing seeds produce
+    minimized reproducer reports (see docs/simulator.md).
 """
 
 from __future__ import annotations
@@ -115,6 +120,25 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="allowed fractional regression for --check")
     bench.add_argument("--profile", type=int, default=None, metavar="N",
                        help="cProfile one cell and print the top N entries")
+
+    verify = sub.add_parser(
+        "verify",
+        help="differentially fuzz the OoO core against the oracle")
+    verify.add_argument("--seeds", type=int, default=50,
+                        help="number of consecutive fuzz seeds to run")
+    verify.add_argument("--seed-start", type=int, default=0,
+                        help="first seed (use with --seeds 1 to replay)")
+    verify.add_argument("--insts", type=int, default=20_000,
+                        help="per-run instruction budget for both sides")
+    verify.add_argument("--invariants", action="store_true",
+                        help="attach the per-cycle invariant checker")
+    verify.add_argument("--invariant-every", type=int, default=1,
+                        metavar="N", help="check invariants every N cycles")
+    verify.add_argument("--configs", nargs="+", default=None,
+                        choices=sorted(CONFIG_BUILDERS),
+                        help="configs to verify (default: the golden five)")
+    verify.add_argument("--report-dir", default="verify_reports",
+                        help="where divergence reports are written")
 
     sweep = sub.add_parser("sweep", help="run a sensitivity sweep")
     sweep.add_argument("name", choices=sorted(CANNED_SWEEPS))
@@ -257,6 +281,35 @@ def _cmd_bench_throughput(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    from .verify import DEFAULT_CONFIGS, run_verify
+
+    configs = tuple(args.configs) if args.configs else DEFAULT_CONFIGS
+
+    def progress(outcome) -> None:
+        mark = "ok" if outcome.ok else "DIVERGED"
+        print(f"seed {outcome.seed:5d}  "
+              f"[{'/'.join(outcome.configs)}]  {mark}")
+
+    summary = run_verify(
+        seeds=args.seeds, seed_start=args.seed_start, insts=args.insts,
+        configs=configs, invariants=args.invariants,
+        invariant_every=args.invariant_every,
+        report_dir=args.report_dir, progress=progress,
+    )
+    failures = summary["failures"]
+    print(f"\n{summary['seeds_run']} seeds x {len(configs)} configs, "
+          f"{args.insts} insts each: {len(failures)} divergence(s)")
+    if failures:
+        for seed, config, kind in failures:
+            print(f"  seed={seed} config={config} kind={kind}",
+                  file=sys.stderr)
+        for path in summary["reports"]:
+            print(f"  report: {path}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -271,6 +324,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_suite(args)
     if args.command == "bench-throughput":
         return _cmd_bench_throughput(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
     if args.command == "sweep":
         table = run_named_sweep(args.name, benches=args.benches,
                                 instructions=args.instructions,

@@ -125,6 +125,11 @@ class Processor:
         self._exit_cycle = -1
         self._rab_start_cycle = -1
         self._interval_pseudo_retired = 0
+        # Program-order pseudo-retirements only: RAB chain-loop uops
+        # re-execute the same few instructions and do not advance the
+        # architectural frontier, so Policy 2's furthest-point tracking
+        # must not count them.
+        self._interval_pseudo_retired_arch = 0
         self._committed_at_entry = 0
         # Runahead loads whose data is further away than this are INV.
         self._poison_latency = 3 * config.llc.latency
@@ -196,6 +201,20 @@ class Processor:
         # Optional observer called as commit_hook(uop, cycle) for every
         # architecturally committed instruction (see repro.core.trace).
         self.commit_hook = None
+
+    def set_cycle_hook(self, hook) -> None:
+        """Install a debug observer called as ``hook(self)`` after every
+        simulated cycle, by shadowing ``_step`` with an instance
+        attribute — processors without a hook keep calling the class
+        method directly, so the hot loop pays nothing when this is off
+        (see repro.verify.invariants)."""
+        step = type(self)._step
+
+        def stepped() -> None:
+            step(self)
+            hook(self)
+
+        self._step = stepped
 
     # ------------------------------------------------------------------
     # Warm-up
@@ -527,6 +546,8 @@ class Processor:
                 self.load_queue_used -= 1
             self.stats.runahead_pseudo_retired += 1
             self._interval_pseudo_retired += 1
+            if not uop.from_rab:
+                self._interval_pseudo_retired_arch += 1
             self._last_progress = now
 
     # ------------------------------------------------------------------
@@ -661,6 +682,7 @@ class Processor:
         self._blocking_pc = head.pc
         self._exit_cycle = head.done_cycle
         self._interval_pseudo_retired = 0
+        self._interval_pseudo_retired_arch = 0
         self._committed_at_entry = self.committed
         self.runahead_cache.clear()
         self.ev["checkpoint"] = self.ev.get("checkpoint", 0) + 1
@@ -730,7 +752,8 @@ class Processor:
 
     def _finish_interval(self) -> None:
         self.ra_policy.end_interval(
-            self.now, self._committed_at_entry, self._interval_pseudo_retired
+            self.now, self._committed_at_entry, self._interval_pseudo_retired,
+            program_distance=self._interval_pseudo_retired_arch,
         )
 
     def _exit_runahead(self, now: int) -> None:

@@ -178,8 +178,12 @@ class StreamPrefetcher:
     def _feedback(self) -> None:
         resolved = self._interval_useful + self._interval_unused
         if resolved < max(4, self.config.fdp_interval // 8):
-            # Not enough resolved prefetches to judge: hold steady.
-            self._interval_issued = 0
+            # Not enough resolved prefetches to judge: hold steady and
+            # let the window keep accumulating.  A feedback window only
+            # closes when BOTH enough prefetches were issued AND enough
+            # resolved — resetting any single counter here would make
+            # the next accuracy reading mix prefetches from different
+            # windows.
             return
         accuracy = self._interval_useful / resolved
         if accuracy >= self.config.fdp_high_accuracy:

@@ -106,9 +106,14 @@ def generate_chain(
                 srsl.append(phys)
 
     def try_add(uop: InFlightUop) -> bool:
+        nonlocal hit_cap
         if uop.seq in chain:
             return False
         if len(chain) >= max_length:
+            # A wanted uop (a producing store, or a producer found on the
+            # walk's last register) was dropped: the chain really was
+            # truncated, even if the SRSL drains afterwards.
+            hit_cap = True
             return False
         chain[uop.seq] = uop
         enqueue_sources(uop)

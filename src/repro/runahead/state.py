@@ -33,7 +33,14 @@ class IntervalRecord:
 
     @property
     def cycles(self) -> int:
-        return max(0, self.exit_cycle - self.entry_cycle)
+        # An exit earlier than the entry is a core bug; surface it
+        # instead of clamping it into a silent zero-length interval.
+        if self.exit_cycle < self.entry_cycle:
+            raise ValueError(
+                f"interval inverted: exit_cycle={self.exit_cycle} < "
+                f"entry_cycle={self.entry_cycle}"
+            )
+        return self.exit_cycle - self.entry_cycle
 
 
 @dataclass
@@ -86,7 +93,19 @@ class RunaheadPolicyState:
         return record
 
     def end_interval(self, now: int, committed_total: int,
-                     pseudo_retired: int) -> None:
+                     pseudo_retired: int,
+                     program_distance: int | None = None) -> None:
+        """Close the current interval.
+
+        ``pseudo_retired`` counts every uop drained during the interval
+        and feeds the per-interval statistics.  ``program_distance`` is
+        the subset that represents genuine program-order progress — in
+        buffer mode the dependence chain executes as a *loop*, so its
+        repeated iterations must not advance Policy 2's furthest-point
+        marker (they revisit the same instructions, not new ones).
+        Defaults to ``pseudo_retired``, which is exact for traditional
+        runahead where every drained uop is a program-order one.
+        """
         record = self.current
         if record is None:
             return
@@ -94,7 +113,9 @@ class RunaheadPolicyState:
         record.uops_executed = pseudo_retired
         self.intervals.append(record)
         self.current = None
-        furthest = committed_total + pseudo_retired
+        if program_distance is None:
+            program_distance = pseudo_retired
+        furthest = committed_total + program_distance
         self.last_furthest_instruction = max(
             self.last_furthest_instruction, furthest
         )

@@ -1,0 +1,285 @@
+"""Differential execution: OoO core vs. the functional interpreter oracle.
+
+Both sides execute the same program against identically-initialized
+memories.  The oracle's retirement stream is the ground truth; the
+processor's architectural commit stream (captured via
+``Processor.commit_hook``) must match it op for op in
+
+* ``pc`` — program order itself,
+* ``next_pc`` / ``taken`` — control-flow resolution,
+* ``dest_value`` — every computed result (ALU, load data, link writes),
+* ``mem_addr`` — every effective address,
+
+and, once both sides HALT, the final architectural register file and the
+final data-memory image must be bit-identical.  The first mismatching
+retired op is pinpointed with surrounding context from both streams.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..config import SystemConfig, build_named_config
+from ..core import Processor
+from ..isa import Interpreter, RetiredOp
+from ..isa.uop import CLS_BRANCH, CLS_NOP, CLS_STORE
+from .fuzz import FuzzProgram, format_program
+from .invariants import InvariantError, attach_invariant_checker
+
+#: How many retired ops around the first mismatch the report shows.
+CONTEXT_OPS = 6
+
+
+@dataclass(frozen=True)
+class RetireRecord:
+    """One architecturally retired op, normalized for comparison."""
+
+    index: int                      # retire order (0-based)
+    pc: int
+    opcode: str
+    next_pc: int
+    dest_value: Optional[int]
+    mem_addr: Optional[int]
+    taken: Optional[bool]
+
+    def format(self) -> str:
+        parts = [f"#{self.index}", f"pc={self.pc}", self.opcode,
+                 f"next={self.next_pc}"]
+        if self.dest_value is not None:
+            parts.append(f"val={self.dest_value:#x}")
+        if self.mem_addr is not None:
+            parts.append(f"addr={self.mem_addr:#x}")
+        if self.taken is not None:
+            parts.append(f"taken={self.taken}")
+        return " ".join(parts)
+
+
+#: The per-op fields diffed, in report order.
+COMPARED_FIELDS = ("pc", "next_pc", "taken", "dest_value", "mem_addr")
+
+
+@dataclass
+class Divergence:
+    """One verified mismatch between the oracle and the OoO core."""
+
+    kind: str                       # stream | length | halt | final_regs |
+                                    # final_mem | invariant | exception
+    seed: int
+    config: str
+    index: Optional[int] = None     # first mismatching retire index
+    fields: tuple[str, ...] = ()
+    detail: str = ""
+    context: str = ""               # surrounding ops from both streams
+
+
+def _record_from_oracle(op: RetiredOp, index: int) -> RetireRecord:
+    return RetireRecord(
+        index=index,
+        pc=op.pc,
+        opcode=op.inst.opcode.name,
+        next_pc=op.next_pc,
+        dest_value=op.dest_value,
+        mem_addr=op.mem_addr,
+        taken=op.taken,
+    )
+
+
+def _record_from_uop(uop, index: int) -> RetireRecord:
+    inst = uop.inst
+    cls = inst.cls_idx
+    if cls == CLS_BRANCH:
+        next_pc = uop.actual_next_pc
+        taken: Optional[bool] = uop.taken
+        dest_value = uop.value if inst.is_call else None
+    else:
+        next_pc = uop.pc + 1
+        taken = None
+        if cls == CLS_STORE or cls == CLS_NOP:
+            dest_value = None
+        else:
+            dest_value = uop.value
+    return RetireRecord(
+        index=index,
+        pc=uop.pc,
+        opcode=inst.opcode.name,
+        next_pc=next_pc,
+        dest_value=dest_value,
+        mem_addr=uop.mem_addr if inst.is_mem else None,
+        taken=taken,
+    )
+
+
+def oracle_stream(fp: FuzzProgram, max_insts: int
+                  ) -> tuple[list[RetireRecord], Interpreter]:
+    """Execute the program on the reference interpreter."""
+    interp = Interpreter(fp.program, fp.memory())
+    records = [
+        _record_from_oracle(op, i)
+        for i, op in enumerate(interp.run(max_insts))
+    ]
+    return records, interp
+
+
+def _resolve_config(config: Union[str, SystemConfig]) -> SystemConfig:
+    if isinstance(config, str):
+        return build_named_config(config)
+    return config
+
+
+def processor_stream(
+    fp: FuzzProgram,
+    config: Union[str, SystemConfig],
+    max_insts: int,
+    invariants: bool = False,
+    invariant_every: int = 1,
+) -> tuple[list[RetireRecord], Processor]:
+    """Execute the program on the cycle-level OoO core, capturing the
+    architectural commit stream.  With ``invariants=True`` the per-cycle
+    invariant checker is attached (see :mod:`repro.verify.invariants`)."""
+    proc = Processor(fp.program, _resolve_config(config), memory=fp.memory())
+    records: list[RetireRecord] = []
+
+    def hook(uop, cycle: int) -> None:
+        records.append(_record_from_uop(uop, len(records)))
+
+    proc.commit_hook = hook
+    if invariants:
+        attach_invariant_checker(proc, every=invariant_every)
+    proc.run(max_insts)
+    return records, proc
+
+
+def _context(oracle: list[RetireRecord], actual: list[RetireRecord],
+             index: int) -> str:
+    lo = max(0, index - CONTEXT_OPS)
+    hi = index + 2
+    lines = ["  oracle:"]
+    lines += [f"    {'>>' if r.index == index else '  '} {r.format()}"
+              for r in oracle[lo:hi]]
+    lines.append("  ooo core:")
+    lines += [f"    {'>>' if r.index == index else '  '} {r.format()}"
+              for r in actual[lo:hi]]
+    return "\n".join(lines)
+
+
+def diff_streams(oracle: list[RetireRecord], actual: list[RetireRecord]
+                 ) -> Optional[tuple[int, tuple[str, ...]]]:
+    """First (index, mismatching fields) between the two streams, if any."""
+    for o, a in zip(oracle, actual):
+        bad = tuple(f for f in COMPARED_FIELDS
+                    if getattr(o, f) != getattr(a, f))
+        if o.opcode != a.opcode:
+            bad = ("opcode",) + bad
+        if bad:
+            return o.index, bad
+    return None
+
+
+def diff_run(
+    fp: FuzzProgram,
+    config: Union[str, SystemConfig],
+    max_insts: int,
+    config_name: str = "",
+    invariants: bool = False,
+    invariant_every: int = 1,
+) -> Optional[Divergence]:
+    """Run both sides and return the first divergence (or ``None``)."""
+    name = config_name or (config if isinstance(config, str) else "custom")
+    oracle, interp = oracle_stream(fp, max_insts)
+    try:
+        actual, proc = processor_stream(
+            fp, config, max_insts,
+            invariants=invariants, invariant_every=invariant_every,
+        )
+    except InvariantError as exc:
+        return Divergence(kind="invariant", seed=fp.seed, config=name,
+                          detail=str(exc))
+    except Exception:
+        return Divergence(kind="exception", seed=fp.seed, config=name,
+                          detail=traceback.format_exc())
+
+    mismatch = diff_streams(oracle, actual)
+    if mismatch is not None:
+        index, fields = mismatch
+        return Divergence(
+            kind="stream", seed=fp.seed, config=name, index=index,
+            fields=fields,
+            detail=(f"first mismatching retired op #{index} "
+                    f"(fields: {', '.join(fields)})"),
+            context=_context(oracle, actual, index),
+        )
+
+    if interp.halted != proc.halted:
+        return Divergence(
+            kind="halt", seed=fp.seed, config=name,
+            detail=(f"oracle halted={interp.halted} after {len(oracle)} ops; "
+                    f"core halted={proc.halted} after {len(actual)} ops "
+                    f"in {proc.now} cycles"),
+        )
+    if interp.halted and len(oracle) != len(actual):
+        index = min(len(oracle), len(actual))
+        return Divergence(
+            kind="length", seed=fp.seed, config=name, index=index,
+            detail=(f"retirement streams differ in length: "
+                    f"oracle={len(oracle)} core={len(actual)}"),
+            context=_context(oracle, actual, index),
+        )
+
+    if interp.halted:
+        reg_diffs = [
+            f"R{i}: oracle={o:#x} core={a:#x}"
+            for i, (o, a) in enumerate(
+                zip(interp.regs, proc.rename.arch_values()))
+            if o != a
+        ]
+        if reg_diffs:
+            return Divergence(
+                kind="final_regs", seed=fp.seed, config=name,
+                detail=("final architectural registers differ:\n  "
+                        + "\n  ".join(reg_diffs)),
+            )
+        oracle_mem = interp.memory.snapshot()
+        core_mem = proc.memory.snapshot()
+        if oracle_mem != core_mem:
+            diffs = []
+            for key in sorted(set(oracle_mem) | set(core_mem)):
+                o, a = oracle_mem.get(key), core_mem.get(key)
+                if o != a:
+                    diffs.append(f"[{key << 3:#x}]: oracle={o} core={a}")
+                if len(diffs) >= 16:
+                    break
+            return Divergence(
+                kind="final_mem", seed=fp.seed, config=name,
+                detail=("final data memory differs:\n  "
+                        + "\n  ".join(diffs)),
+            )
+    return None
+
+
+def render_divergence(div: Divergence, fp: FuzzProgram,
+                      max_insts: int) -> str:
+    """Full divergence report: what diverged, where, surrounding retired
+    ops, the (minimized) reproducer program, and how to replay it."""
+    lines = [
+        f"DIVERGENCE kind={div.kind} seed={div.seed} config={div.config}",
+        div.detail,
+    ]
+    if div.context:
+        lines.append(div.context)
+    spec = fp.spec
+    lines.append(
+        f"reproducer: seed={spec.seed} blocks="
+        f"[{', '.join(f'{b.block_id}:{b.kind}' for b in spec.blocks)}] "
+        f"outer_iterations={spec.outer_iterations} "
+        f"({len(fp.program)} static insts)"
+    )
+    lines.append(
+        f"replay: PYTHONPATH=src python -m repro verify "
+        f"--seeds 1 --seed-start {div.seed} --insts {max_insts} "
+        f"--configs {div.config}"
+    )
+    lines.append("program listing:")
+    lines.append(format_program(fp.program))
+    return "\n".join(lines) + "\n"

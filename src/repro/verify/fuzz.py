@@ -1,0 +1,403 @@
+"""Seeded generator of randomized-but-structured verification programs.
+
+Programs are assembled from *blocks* — each a small, self-contained code
+pattern chosen to stress one part of the out-of-order machinery:
+
+``alu``
+    Random straight-line ALU/immediate ops over the register pool
+    (renaming pressure, forwarding through the PRF).
+``chase``
+    Pointer chases: each loaded value, masked into the data window,
+    becomes the next load address (serialized load chains, the pattern
+    runahead exists to accelerate).
+``alias``
+    Store/load pairs over a small set of shared slots, with both
+    statically-known and computed store addresses (store->load
+    forwarding and conservative memory disambiguation).
+``web``
+    Forward conditional-branch webs with filler ops (mispredict
+    recovery, squash bookkeeping, predictor snapshots).
+``call``
+    Calls into shared subroutines placed after the HALT (RAS prediction,
+    link-register writes, returns).
+``r0``
+    R0 edge cases: discarded writes, zero reads, R0 store data, loads
+    into R0, branches comparing against R0.
+``longlat``
+    MUL/DIV/FDIV dependence chains, including divide-by-zero (long
+    scheduler occupancy, non-unit latencies).
+``innerloop``
+    Short counted inner loops (re-renaming of the same static code,
+    repeated store/load patterns, loop-exit mispredicts).
+
+All randomness is drawn when the :class:`FuzzSpec` is created and stored
+as plain data, so a program is a *pure function of its spec*.  That is
+what makes minimization sound: the harness can drop blocks from a
+failing spec and rebuild, and the surviving blocks emit exactly the same
+instructions.
+
+Termination is guaranteed by construction: all internal branches are
+forward, inner loops are counted with dedicated registers, and the
+whole body sits inside one counted outer loop followed by HALT.
+
+Register conventions (the block pool never touches the reserved ones):
+
+=====  =======================================
+R1-12  general pool (seeded with random values)
+R13    address/filler scratch
+R14    data-window base
+R15/16 inner-loop counter/bound
+R17/18 outer-loop counter/bound
+R31    link register (CALL/RET)
+=====  =======================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..isa import DataMemory, Program, ProgramBuilder
+
+POOL = tuple(f"R{i}" for i in range(1, 13))
+SCRATCH = "R13"
+BASE_REG = "R14"
+INNER_CTR, INNER_BOUND = "R15", "R16"
+OUTER_CTR, OUTER_BOUND = "R17", "R18"
+
+WINDOW_BASE = 0x40000
+WINDOW_MASK = 0xFF8          # 512 words, 8-byte aligned
+ALIAS_MASK = 0x78            # 16 shared slots for aliasing pairs
+SEEDED_WORDS = 64            # window words with explicit initial values
+
+_ALU3 = ("add", "sub", "xor", "and_", "or_", "shl", "shr")
+_CONDS = ("beq", "bne", "blt", "bge")
+_BLOCK_KINDS = ("alu", "chase", "alias", "web", "call", "r0",
+                "longlat", "innerloop")
+
+
+@dataclass(frozen=True)
+class Block:
+    """One generated code pattern: a kind plus fully-drawn primitive ops."""
+
+    block_id: int
+    kind: str
+    ops: tuple
+
+    def dynamic_cost(self) -> int:
+        """Worst-case dynamic instructions one execution of the block costs."""
+        return _ops_cost(self.ops)
+
+
+@dataclass(frozen=True)
+class FuzzSpec:
+    """Everything needed to deterministically rebuild one fuzz program."""
+
+    seed: int
+    reg_seeds: tuple[int, ...]           # initial values of R1..R12
+    blocks: tuple[Block, ...]
+    subroutines: tuple[tuple, ...]       # primitive-op tuples, one per sub
+    outer_iterations: int
+    init_mem: tuple[tuple[int, int], ...]  # (byte addr, value) pairs
+
+
+@dataclass(frozen=True)
+class FuzzProgram:
+    """A built fuzz program plus its reproducible initial memory image."""
+
+    spec: FuzzSpec
+    program: Program
+
+    @property
+    def seed(self) -> int:
+        return self.spec.seed
+
+    def memory(self) -> DataMemory:
+        """A fresh, identically-initialized data memory for one run."""
+        memory = DataMemory()
+        for addr, value in self.spec.init_mem:
+            memory.store(addr, value)
+        return memory
+
+
+def _ops_cost(ops: Iterable[tuple]) -> int:
+    cost = 0
+    for op in ops:
+        kind = op[0]
+        if kind == "chase":
+            cost += 3
+        elif kind in ("st_comp", "ld_comp"):
+            cost += 3
+        elif kind == "br":
+            cost += 1 + op[4]
+        elif kind == "call":
+            cost += 1
+        elif kind == "loop":
+            cost += 2 + op[1] * (_ops_cost(op[2]) + 2)
+        else:
+            cost += 1
+    return cost
+
+
+# ---------------------------------------------------------------------------
+# Spec generation (all randomness happens here)
+# ---------------------------------------------------------------------------
+
+def _draw_value(rng: random.Random) -> int:
+    kind = rng.randrange(4)
+    if kind == 0:
+        return rng.randrange(0, 128)
+    if kind == 1:
+        return rng.randrange(-128, 0)
+    if kind == 2:
+        return rng.getrandbits(32)
+    return rng.getrandbits(63)
+
+
+def _draw_simple_op(rng: random.Random) -> tuple:
+    """One primitive op with no control flow (loop/sub bodies)."""
+    choice = rng.randrange(10)
+    if choice < 4:
+        return ("alu", rng.choice(_ALU3), rng.choice(POOL),
+                rng.choice(POOL), rng.choice(POOL))
+    if choice < 6:
+        return ("addi", rng.choice(POOL), rng.choice(POOL),
+                rng.randrange(-64, 65))
+    if choice == 6:
+        return ("chase", rng.choice(POOL), rng.choice(POOL))
+    if choice == 7:
+        return ("st_imm", rng.choice(POOL), rng.randrange(16))
+    if choice == 8:
+        return ("ld_imm", rng.choice(POOL), rng.randrange(16))
+    return ("mov", rng.choice(POOL), rng.choice(POOL))
+
+
+def _draw_block(rng: random.Random, block_id: int, num_subs: int) -> Block:
+    kind = rng.choice(_BLOCK_KINDS if num_subs else
+                      tuple(k for k in _BLOCK_KINDS if k != "call"))
+    ops: list[tuple] = []
+    if kind == "alu":
+        for _ in range(rng.randrange(2, 7)):
+            choice = rng.randrange(6)
+            if choice < 3:
+                ops.append(("alu", rng.choice(_ALU3), rng.choice(POOL),
+                            rng.choice(POOL), rng.choice(POOL)))
+            elif choice == 3:
+                ops.append(("addi", rng.choice(POOL), rng.choice(POOL),
+                            rng.randrange(-64, 65)))
+            elif choice == 4:
+                ops.append(("andi", rng.choice(POOL), rng.choice(POOL),
+                            rng.randrange(0, 256)))
+            else:
+                ops.append(("li", rng.choice(POOL), _draw_value(rng)))
+    elif kind == "chase":
+        src = rng.choice(POOL)
+        for _ in range(rng.randrange(2, 6)):
+            dst = rng.choice(POOL)
+            ops.append(("chase", dst, src))
+            src = dst
+    elif kind == "alias":
+        for _ in range(rng.randrange(2, 5)):
+            data = rng.choice(POOL)
+            if rng.random() < 0.5:
+                # Computed store address followed by an exact-alias load:
+                # the load must wait for (or forward from) the store.
+                addr_src = rng.choice(POOL)
+                ops.append(("st_comp", data, addr_src))
+                ops.append(("ld_comp", rng.choice(POOL), addr_src))
+            else:
+                slot = rng.randrange(16)
+                ops.append(("st_imm", data, slot))
+                # Load the same slot half the time, a near slot otherwise.
+                load_slot = slot if rng.random() < 0.5 else rng.randrange(16)
+                ops.append(("ld_imm", rng.choice(POOL), load_slot))
+    elif kind == "web":
+        for j in range(rng.randrange(1, 4)):
+            ops.append(("br", rng.choice(_CONDS), rng.choice(POOL),
+                        rng.choice(POOL), rng.randrange(1, 4),
+                        f"{block_id}_{j}"))
+    elif kind == "call":
+        for _ in range(rng.randrange(1, 3)):
+            ops.append(("call", rng.randrange(num_subs)))
+    elif kind == "r0":
+        patterns = (
+            ("addi", "R0", rng.choice(POOL), rng.randrange(-16, 17)),
+            ("alu", "add", rng.choice(POOL), "R0", rng.choice(POOL)),
+            ("st_imm", "R0", rng.randrange(16)),
+            ("ld_imm", "R0", rng.randrange(16)),
+            ("chase", "R0", rng.choice(POOL)),
+            ("br", rng.choice(_CONDS), rng.choice(POOL), "R0",
+             rng.randrange(1, 3), f"{block_id}_z"),
+            ("li", "R0", _draw_value(rng)),
+            ("mov", rng.choice(POOL), "R0"),
+        )
+        for op in rng.sample(patterns, rng.randrange(2, 5)):
+            ops.append(op)
+    elif kind == "longlat":
+        chain_reg = rng.choice(POOL)
+        for _ in range(rng.randrange(2, 5)):
+            opname = rng.choice(("mul", "div", "fmul", "fdiv", "fadd"))
+            ops.append(("alu", opname, chain_reg, chain_reg,
+                        rng.choice(POOL)))
+        if rng.random() < 0.5:
+            zero_reg = rng.choice(POOL)
+            ops.append(("li", zero_reg, 0))
+            ops.append(("alu", "div", rng.choice(POOL), chain_reg, zero_reg))
+    else:  # innerloop
+        body = tuple(_draw_simple_op(rng) for _ in range(rng.randrange(1, 4)))
+        ops.append(("loop", rng.randrange(2, 7), body, str(block_id)))
+    return Block(block_id=block_id, kind=kind, ops=tuple(ops))
+
+
+def _draw_subroutine(rng: random.Random, index: int) -> tuple:
+    ops: list[tuple] = [_draw_simple_op(rng)
+                        for _ in range(rng.randrange(2, 6))]
+    if rng.random() < 0.5:
+        ops.insert(rng.randrange(len(ops) + 1),
+                   ("br", rng.choice(_CONDS), rng.choice(POOL),
+                    rng.choice(POOL), rng.randrange(1, 3), f"s{index}"))
+    return tuple(ops)
+
+
+def make_spec(seed: int, target_insts: int = 10_000) -> FuzzSpec:
+    """Draw a spec whose dynamic length is roughly ``target_insts / 2``
+    (comfortably inside the verification budget, so the program HALTs)."""
+    rng = random.Random(seed)
+    num_subs = rng.randrange(1, 4)
+    subroutines = tuple(_draw_subroutine(rng, i) for i in range(num_subs))
+    num_blocks = rng.randrange(3, 11)
+    blocks = tuple(_draw_block(rng, i, num_subs) for i in range(num_blocks))
+    reg_seeds = tuple(_draw_value(rng) for _ in POOL)
+    init_mem = tuple(
+        (WINDOW_BASE + 8 * i, _draw_value(rng)) for i in range(SEEDED_WORDS)
+    )
+
+    sub_cost = max((_ops_cost(s) + 2 for s in subroutines), default=0)
+    per_iter = sum(b.dynamic_cost() for b in blocks) + 2
+    for block in blocks:
+        if block.kind == "call":
+            per_iter += sum(sub_cost for op in block.ops if op[0] == "call")
+    setup = len(POOL) + 4
+    outer = (target_insts // 2 - setup) // max(per_iter, 1)
+    outer_iterations = max(2, min(64, outer))
+    return FuzzSpec(
+        seed=seed,
+        reg_seeds=reg_seeds,
+        blocks=blocks,
+        subroutines=subroutines,
+        outer_iterations=outer_iterations,
+        init_mem=init_mem,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Program assembly (pure function of the spec)
+# ---------------------------------------------------------------------------
+
+def _emit_ops(b: ProgramBuilder, ops: Iterable[tuple], prefix: str) -> None:
+    label_n = 0
+    for op in ops:
+        kind = op[0]
+        if kind == "alu":
+            _, name, rd, rs1, rs2 = op
+            getattr(b, name)(rd, rs1, rs2)
+        elif kind == "addi":
+            b.addi(op[1], op[2], op[3])
+        elif kind == "andi":
+            b.andi(op[1], op[2], op[3])
+        elif kind == "li":
+            b.li(op[1], op[2])
+        elif kind == "mov":
+            b.mov(op[1], op[2])
+        elif kind == "chase":
+            _, dst, src = op
+            b.andi(SCRATCH, src, WINDOW_MASK)
+            b.add(SCRATCH, SCRATCH, BASE_REG)
+            b.load(dst, SCRATCH, 0)
+        elif kind == "st_imm":
+            b.store(op[1], BASE_REG, 8 * op[2])
+        elif kind == "ld_imm":
+            b.load(op[1], BASE_REG, 8 * op[2])
+        elif kind == "st_comp":
+            _, data, addr_src = op
+            b.andi(SCRATCH, addr_src, ALIAS_MASK)
+            b.add(SCRATCH, SCRATCH, BASE_REG)
+            b.store(data, SCRATCH, 0)
+        elif kind == "ld_comp":
+            _, rd, addr_src = op
+            b.andi(SCRATCH, addr_src, ALIAS_MASK)
+            b.add(SCRATCH, SCRATCH, BASE_REG)
+            b.load(rd, SCRATCH, 0)
+        elif kind == "br":
+            _, cond, rs1, rs2, nfiller, tag = op
+            label = f"{prefix}br{tag}_{label_n}"
+            label_n += 1
+            getattr(b, cond)(rs1, rs2, label)
+            for _ in range(nfiller):
+                b.addi(SCRATCH, SCRATCH, 1)
+            b.label(label)
+        elif kind == "call":
+            b.call(f"sub{op[1]}")
+        elif kind == "loop":
+            _, iters, body, tag = op
+            label = f"{prefix}lp{tag}_{label_n}"
+            label_n += 1
+            b.li(INNER_CTR, 0)
+            b.li(INNER_BOUND, iters)
+            b.label(label)
+            _emit_ops(b, body, prefix=label + "_")
+            b.addi(INNER_CTR, INNER_CTR, 1)
+            b.bne(INNER_CTR, INNER_BOUND, label)
+        else:  # pragma: no cover - spec vocabulary is closed
+            raise ValueError(f"unknown primitive op {kind!r}")
+
+
+def build_program(spec: FuzzSpec) -> Program:
+    b = ProgramBuilder()
+    for reg, value in zip(POOL, spec.reg_seeds):
+        b.li(reg, value)
+    b.li(SCRATCH, 0)
+    b.li(BASE_REG, WINDOW_BASE)
+    b.li(OUTER_CTR, 0)
+    b.li(OUTER_BOUND, spec.outer_iterations)
+    b.label("outer")
+    for block in spec.blocks:
+        _emit_ops(b, block.ops, prefix=f"b{block.block_id}_")
+    b.addi(OUTER_CTR, OUTER_CTR, 1)
+    b.bne(OUTER_CTR, OUTER_BOUND, "outer")
+    b.halt()
+    # Subroutines live after the HALT; only CALL reaches them.
+    for i, sub in enumerate(spec.subroutines):
+        b.label(f"sub{i}")
+        _emit_ops(b, sub, prefix=f"sub{i}_")
+        b.ret()
+    return b.build(name=f"fuzz_{spec.seed}")
+
+
+def build_fuzz_program(seed: int, target_insts: int = 10_000) -> FuzzProgram:
+    """Generate the fuzz program for one seed."""
+    spec = make_spec(seed, target_insts)
+    return FuzzProgram(spec=spec, program=build_program(spec))
+
+
+def rebuild(spec: FuzzSpec, blocks: Optional[tuple[Block, ...]] = None,
+            outer_iterations: Optional[int] = None) -> FuzzProgram:
+    """Rebuild a (possibly reduced) program from an existing spec.
+
+    Used by the minimizer: dropping blocks or shrinking the outer loop
+    yields a smaller program whose surviving instructions are identical.
+    """
+    from dataclasses import replace
+    if blocks is not None:
+        spec = replace(spec, blocks=tuple(blocks))
+    if outer_iterations is not None:
+        spec = replace(spec, outer_iterations=outer_iterations)
+    return FuzzProgram(spec=spec, program=build_program(spec))
+
+
+def format_program(program: Program) -> str:
+    """A human-readable listing for divergence reports."""
+    lines = [f"{pc:5d}: {inst!r}" for pc, inst in
+             enumerate(program.instructions)]
+    return "\n".join(lines)

@@ -122,15 +122,31 @@ class TestStoreQueue:
         sq.squash_younger(boundary_seq=3)
         assert len(sq) == 1
 
-    def test_pop_oldest_only_matches_head(self):
+    def test_pop_oldest_pops_head(self):
         sq = StoreQueue(8)
         a, b = make_store(1, addr=0x100), make_store(2, addr=0x200)
         sq.push(a)
         sq.push(b)
-        sq.pop_oldest(b)   # not the head: no-op
-        assert len(sq) == 2
         sq.pop_oldest(a)
         assert len(sq) == 1
+        sq.pop_oldest(b)
+        assert len(sq) == 0
+
+    def test_pop_oldest_raises_on_non_head(self):
+        # A commit popping anything but the queue head means stores are
+        # retiring out of order — a silent no-op here masked that.
+        sq = StoreQueue(8)
+        a, b = make_store(1, addr=0x100), make_store(2, addr=0x200)
+        sq.push(a)
+        sq.push(b)
+        with pytest.raises(RuntimeError, match="out of order"):
+            sq.pop_oldest(b)
+        assert len(sq) == 2  # queue untouched
+
+    def test_pop_oldest_raises_on_empty(self):
+        sq = StoreQueue(8)
+        with pytest.raises(RuntimeError, match="out of order"):
+            sq.pop_oldest(make_store(1))
 
     def test_capacity(self):
         sq = StoreQueue(2)

@@ -135,6 +135,57 @@ class TestStoreQueueInclusion:
         assert result.sq_searches >= 1
 
 
+class TestCapEdgeCases:
+    def test_store_dropped_at_cap_sets_hit_cap(self):
+        """A producing store rejected because the chain is already at
+        ``max_length`` truncates the chain even when the SRSL then
+        drains — ``hit_cap`` must say so (hybrid mode trusts it to fall
+        back to traditional runahead)."""
+        blocking = uop(0, 5, LD(3, 2), dest_phys=41, src1=30)
+        store = uop(2, 1, ST(1, 7), dest_phys=None, src1=50, src2=51,
+                    mem_addr=0x800)
+        store.data_known = True
+        # Spill load addressed off R0: no sources, so the SRSL drains
+        # right after the store is (not) appended.
+        spill_load = uop(3, 2, LD(2, 0), dest_phys=52, src1=None,
+                         mem_addr=0x800)
+        deref = uop(4, 5, LD(3, 2), dest_phys=53, src1=52)
+        rob = [blocking, store, spill_load, deref]
+        sq = StoreQueue(8)
+        sq.push(store)
+        result = generate_chain(rob, blocking, sq, max_length=2)
+        assert len(result.chain) == 2
+        assert 1 not in {c.pc for c in result.chain}  # store was dropped
+        assert result.hit_cap
+
+    def test_duplicate_srsl_entries_add_producer_once(self):
+        """src1 == src2 pushes the same physical register twice; the
+        producer must enter the chain once, but both CAM searches are
+        still paid for."""
+        blocking = uop(0, 9, LD(5, 3), dest_phys=60, src1=30)
+        doubler = uop(2, 1, ADD(3, 2, 2), dest_phys=44, src1=43, src2=43)
+        feeder = uop(3, 0, ADDI(2, 2, 1), dest_phys=43, src1=42)
+        other = uop(4, 9, LD(5, 3), dest_phys=61, src1=44)
+        rob = [blocking, doubler, feeder, other]
+        result = generate_chain(rob, blocking, None)
+        assert sorted(result.chain_seqs) == [2, 3, 4]
+        assert len(set(result.chain_seqs)) == len(result.chain_seqs)
+        # P44 once, P43 twice (the duplicate), P42 once = 4 searches.
+        assert result.reg_searches == 4
+        assert not result.hit_cap
+
+    def test_only_other_instance_squashed(self):
+        """A squashed duplicate of the blocking PC is not a usable
+        template: generation must report no match, not extract a chain
+        from a wrong-path uop."""
+        rob, blocking = make_gather_rob()
+        rob[4].squashed = True      # the younger LD at the blocking PC
+        result = generate_chain(rob, blocking, None)
+        assert not result.found_pc
+        assert not result.usable
+        assert result.chain == ()
+
+
 class TestSignature:
     def test_signature_identity(self):
         rob, blocking = make_gather_rob()

@@ -98,3 +98,74 @@ class TestFdp:
         pf = make_pf()
         pf.record_useful(late=True)
         assert pf.stats.late == 1
+
+
+class TestFdpWindowSemantics:
+    """A feedback window closes only when BOTH enough prefetches were
+    issued AND enough of them resolved; every interval counter then
+    resets together.  Pre-fix the hold-steady path reset only
+    ``_interval_issued``, so the next accuracy reading divided
+    resolutions from one window by issues from another."""
+
+    def make(self):
+        return make_pf(fdp_enabled=True, fdp_interval=16,
+                       fdp_high_accuracy=0.75, fdp_low_accuracy=0.40)
+
+    def test_hold_steady_keeps_all_counters(self):
+        pf = self.make()
+        pf.record_issued(16)    # triggers _feedback: nothing resolved yet
+        assert pf._level == 2   # held
+        assert pf._interval_issued == 16    # window still open
+        assert pf._interval_useful == 0
+        assert pf._interval_unused == 0
+
+    def test_window_extends_until_enough_resolved(self):
+        """Once the in-flight prefetches resolve, the very next issue
+        closes the still-open window — it does not start a fresh count
+        of ``fdp_interval`` issues (the pre-fix behaviour)."""
+        pf = self.make()
+        pf.record_issued(16)    # hold-steady: only 0 of 16 resolved
+        for _ in range(4):
+            pf.record_useful()
+        pf.record_issued(1)     # window: 17 issued, 4 resolved, 100% useful
+        assert pf.stats.throttle_ups == 1
+        assert pf._level == 3
+        # The closed window reset every counter together.
+        assert pf._interval_issued == 0
+        assert pf._interval_useful == 0
+        assert pf._interval_unused == 0
+
+    def test_ladder_up_at_high_accuracy_boundary(self):
+        pf = self.make()
+        for _ in range(12):
+            pf.record_useful()
+        for _ in range(4):
+            pf.record_unused_eviction()
+        pf.record_issued(16)    # accuracy = 12/16 = 0.75, inclusive bound
+        assert pf._level == 3
+        assert pf.stats.throttle_ups == 1
+
+    def test_ladder_down_below_low_accuracy(self):
+        pf = self.make()
+        for _ in range(6):
+            pf.record_useful()
+        for _ in range(10):
+            pf.record_unused_eviction()
+        pf.record_issued(16)    # accuracy = 6/16 = 0.375 < 0.40
+        assert pf._level == 1
+        assert pf.stats.throttle_downs == 1
+
+    def test_ladder_holds_between_thresholds(self):
+        pf = self.make()
+        for _ in range(8):
+            pf.record_useful()
+        for _ in range(8):
+            pf.record_unused_eviction()
+        pf.record_issued(16)    # accuracy = 0.5: in the dead band
+        assert pf._level == 2
+        assert pf.stats.throttle_ups == 0
+        assert pf.stats.throttle_downs == 0
+        # The window still closed: counters reset for the next interval.
+        assert pf._interval_issued == 0
+        assert pf._interval_useful == 0
+        assert pf._interval_unused == 0

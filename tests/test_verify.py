@@ -1,0 +1,254 @@
+"""Differential verification subsystem tests (``repro.verify``).
+
+Covers the fuzz generator's determinism and termination guarantees, the
+retirement-stream differ, the per-cycle invariant checker (both that it
+passes on a healthy core and that it actually catches seeded
+corruption), the greedy reproducer minimizer, and the ``repro verify``
+CLI plumbing.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.config import build_named_config
+from repro.core import Processor
+from repro.verify import (
+    DEFAULT_CONFIGS,
+    Divergence,
+    InvariantError,
+    attach_invariant_checker,
+    build_fuzz_program,
+    diff_run,
+    oracle_stream,
+    processor_stream,
+    rebuild,
+    render_divergence,
+    run_verify,
+    verify_seed,
+)
+from repro.verify.differential import diff_streams
+from repro.verify.harness import minimize
+
+
+class TestFuzzGenerator:
+    def test_deterministic(self):
+        a = build_fuzz_program(7, target_insts=4000)
+        b = build_fuzz_program(7, target_insts=4000)
+        assert a.spec == b.spec
+        assert ([i.key() for i in a.program.instructions]
+                == [i.key() for i in b.program.instructions])
+
+    def test_seeds_differ(self):
+        a = build_fuzz_program(1, target_insts=4000)
+        b = build_fuzz_program(2, target_insts=4000)
+        assert a.spec != b.spec
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_terminates_within_budget(self, seed):
+        fp = build_fuzz_program(seed, target_insts=4000)
+        records, interp = oracle_stream(fp, 8000)
+        assert interp.halted, "fuzz program must HALT within 2x its target"
+        assert len(records) > 100
+
+    def test_memory_fresh_per_call(self):
+        fp = build_fuzz_program(3, target_insts=2000)
+        m1, m2 = fp.memory(), fp.memory()
+        assert m1 is not m2
+        assert m1.snapshot() == m2.snapshot()
+
+    def test_rebuild_subset_still_halts(self):
+        fp = build_fuzz_program(5, target_insts=4000)
+        sub = rebuild(fp.spec, blocks=fp.spec.blocks[:1],
+                      outer_iterations=1)
+        assert len(sub.spec.blocks) == 1
+        _, interp = oracle_stream(sub, 8000)
+        assert interp.halted
+
+
+class TestDifferential:
+    def test_streams_match_on_baseline(self):
+        fp = build_fuzz_program(0, target_insts=3000)
+        oracle, interp = oracle_stream(fp, 6000)
+        actual, proc = processor_stream(fp, "baseline", 6000)
+        assert diff_streams(oracle, actual) is None
+        assert interp.halted == proc.halted
+
+    def test_diff_streams_pinpoints_first_mismatch(self):
+        fp = build_fuzz_program(0, target_insts=3000)
+        oracle, _ = oracle_stream(fp, 6000)
+        mutated = list(oracle)
+        index = len(mutated) // 2
+        from dataclasses import replace
+        mutated[index] = replace(
+            mutated[index],
+            dest_value=0xDEAD, next_pc=mutated[index].next_pc + 1)
+        found = diff_streams(oracle, mutated)
+        assert found is not None
+        where, fields = found
+        assert where == index
+        assert "dest_value" in fields and "next_pc" in fields
+
+    @pytest.mark.parametrize("config", DEFAULT_CONFIGS)
+    def test_no_divergence_across_modes(self, config):
+        fp = build_fuzz_program(11, target_insts=3000)
+        assert diff_run(fp, config, 6000, config_name=config) is None
+
+    def test_render_includes_replay_command(self):
+        fp = build_fuzz_program(4, target_insts=2000)
+        div = Divergence(kind="stream", seed=4, config="rab", index=17,
+                         fields=("dest_value",), detail="boom")
+        report = render_divergence(div, fp, 4000)
+        assert "--seed-start 4" in report
+        assert "--configs rab" in report
+        assert "program listing:" in report
+
+
+class TestInvariantChecker:
+    def _proc(self, seed=0):
+        fp = build_fuzz_program(seed, target_insts=2000)
+        return Processor(fp.program, build_named_config("rab_cc"),
+                         memory=fp.memory())
+
+    def test_clean_run_passes(self):
+        proc = self._proc()
+        checker = attach_invariant_checker(proc)
+        proc.run(3000)
+        assert checker.cycles_checked > 0
+
+    def test_no_hook_means_no_step_shadow(self):
+        proc = self._proc()
+        assert "_step" not in proc.__dict__
+        attach_invariant_checker(proc)
+        assert "_step" in proc.__dict__
+
+    def test_catches_counter_drift(self):
+        proc = self._proc()
+        checker = attach_invariant_checker(proc)
+        proc.run(200)
+        proc.rs_used += 1
+        with pytest.raises(InvariantError, match="rs_used"):
+            checker.check_now()
+
+    def test_catches_store_queue_desync(self):
+        from repro.backend import InFlightUop
+        from repro.isa import Instruction, Opcode
+
+        proc = self._proc()
+        checker = attach_invariant_checker(proc)
+        proc.run(200)
+        stray = InFlightUop(10 ** 9, 0, Instruction(Opcode.ST, rs1=1, rs2=2))
+        proc.store_queue.entries.append(stray)
+        with pytest.raises(InvariantError, match="store queue"):
+            checker.check_now()
+
+    def test_catches_free_list_duplicate(self):
+        proc = self._proc()
+        checker = attach_invariant_checker(proc)
+        proc.run(200)
+        proc.rename.free_list.append(proc.rename.free_list[0])
+        with pytest.raises(InvariantError, match="duplicate"):
+            checker.check_now()
+
+    def test_catches_inverted_interval(self):
+        proc = self._proc()
+        checker = attach_invariant_checker(proc)
+        proc.run(200)
+        proc.ra_policy.begin_interval("traditional", now=100)
+        proc.ra_policy.end_interval(now=100, committed_total=0,
+                                    pseudo_retired=0)
+        proc.ra_policy.intervals[-1].exit_cycle = 40
+        with pytest.raises(InvariantError, match="inverted"):
+            checker.check_now()
+
+    def test_every_n_skips_cycles(self):
+        proc = self._proc()
+        checker = attach_invariant_checker(proc, every=50)
+        proc.run(1000)
+        assert 0 < checker.cycles_checked < proc.now
+
+
+class TestHarness:
+    def test_verify_seed_clean(self):
+        outcome = verify_seed(0, insts=4000, configs=("baseline", "rab_cc"))
+        assert outcome.ok
+        assert outcome.divergences == []
+
+    def test_minimize_shrinks_reproducer(self):
+        """Against a synthetic failure predicate (any program containing
+        an 'alias' block diverges), the greedy minimizer must shrink the
+        reproducer to a single block and a single outer iteration."""
+        seed = next(
+            s for s in range(50)
+            if sum(b.kind == "alias"
+                   for b in build_fuzz_program(s, 4000).spec.blocks) == 1
+            and len(build_fuzz_program(s, 4000).spec.blocks) > 2
+        )
+        fp = build_fuzz_program(seed, 4000)
+        div = Divergence(kind="stream", seed=seed, config="rab")
+
+        import repro.verify.harness as harness_mod
+
+        real_diff_run = harness_mod.diff_run
+
+        def fake_diff_run(candidate, config, max_insts, config_name="",
+                          invariants=False):
+            if any(b.kind == "alias" for b in candidate.spec.blocks):
+                return Divergence(kind="stream", seed=seed, config=config)
+            return None
+
+        harness_mod.diff_run = fake_diff_run
+        try:
+            small, small_div = minimize(fp, "rab", 4000, div)
+        finally:
+            harness_mod.diff_run = real_diff_run
+        assert small_div.kind == "stream"
+        assert len(small.spec.blocks) == 1
+        assert small.spec.blocks[0].kind == "alias"
+        assert small.spec.outer_iterations == 1
+
+    def test_run_verify_writes_reports_on_failure(self, tmp_path):
+        import repro.verify.harness as harness_mod
+
+        real_verify_seed = harness_mod.verify_seed
+        fp = build_fuzz_program(0, 2000)
+
+        def fake_verify_seed(seed, **kwargs):
+            from repro.verify.harness import VerifyOutcome
+            outcome = VerifyOutcome(seed=seed, insts=2000,
+                                    configs=("rab",))
+            outcome.divergences.append(
+                Divergence(kind="stream", seed=seed, config="rab",
+                           index=3, fields=("pc",), detail="synthetic"))
+            outcome.reproducers.append(fp)
+            return outcome
+
+        harness_mod.verify_seed = fake_verify_seed
+        try:
+            summary = run_verify(seeds=2, insts=2000, configs=("rab",),
+                                 report_dir=str(tmp_path))
+        finally:
+            harness_mod.verify_seed = real_verify_seed
+        assert len(summary["failures"]) == 2
+        assert len(summary["reports"]) == 2
+        for path in summary["reports"]:
+            text = open(path).read()
+            assert "DIVERGENCE" in text
+            assert "replay:" in text
+
+
+class TestVerifyCli:
+    def test_verify_clean_exit_zero(self, capsys, tmp_path):
+        code = main(["verify", "--seeds", "2", "--insts", "2000",
+                     "--configs", "baseline", "rab_cc",
+                     "--report-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 divergence(s)" in out
+
+    def test_verify_replay_flags_accepted(self, capsys, tmp_path):
+        code = main(["verify", "--seeds", "1", "--seed-start", "5",
+                     "--insts", "2000", "--invariants",
+                     "--invariant-every", "10", "--configs", "rab",
+                     "--report-dir", str(tmp_path)])
+        assert code == 0
+        assert "seed     5" in capsys.readouterr().out
