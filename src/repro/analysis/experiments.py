@@ -51,10 +51,19 @@ class ExperimentMatrix:
         instructions: int = DEFAULT_INSTRUCTIONS,
         warmup: int = DEFAULT_WARMUP,
         cache_path: Optional[str | Path] = "results/experiments.json",
+        trace_dir: Optional[str | Path] = None,
     ) -> None:
         self.instructions = instructions
         self.warmup = warmup
         self.cache_path = Path(cache_path) if cache_path else None
+        # When set (or via REPRO_TRACE_DIR), every cell simulated
+        # *in-process* also writes a Perfetto trace here.  Tracing is
+        # cycle-identical, so traced cells stay cache-compatible with
+        # untraced ones; cells filled by prefetch() workers are not
+        # traced (the observability layer is per-processor, in-process).
+        if trace_dir is None:
+            trace_dir = os.environ.get("REPRO_TRACE_DIR") or None
+        self.trace_dir = Path(trace_dir) if trace_dir else None
         self._results: dict[str, dict[str, Any]] = {}
         self._dirty = False
         if self.cache_path is not None and self.cache_path.exists():
@@ -101,16 +110,35 @@ class ExperimentMatrix:
         config = build_named_config(config_name)
         if chain_stats:
             config.runahead.collect_chain_stats = True
+        tracer = None
+        if self.trace_dir is not None:
+            from ..obs import Tracer
+            tracer = Tracer()
         result = simulate(
             workload,
             config,
             max_instructions=self.instructions,
             warmup_instructions=self.warmup,
             config_name=config_name,
+            attach=tracer.attach if tracer is not None else None,
         )
         stats = result.stats.to_dict()
+        if tracer is not None:
+            self._persist_trace(workload, config_name, chain_stats, tracer)
         self.store(workload, config_name, chain_stats, stats)
         return stats
+
+    def _persist_trace(self, workload: str, config_name: str,
+                       chain_stats: bool, tracer) -> Path:
+        from ..obs import write_perfetto
+
+        self.trace_dir.mkdir(parents=True, exist_ok=True)
+        key = self._key(workload, config_name, chain_stats)
+        path = self.trace_dir / (key.replace("/", "_") + ".perfetto.json")
+        return write_perfetto(path, tracer.trace,
+                              metadata={"workload": workload,
+                                        "config": config_name,
+                                        "cell": key})
 
     def store(self, workload: str, config_name: str, chain_stats: bool,
               stats: dict[str, Any]) -> None:

@@ -24,6 +24,11 @@ Commands
     oracle: random structured programs, every core mode, retirement
     streams and final state diffed op for op.  Failing seeds produce
     minimized reproducer reports (see docs/simulator.md).
+``trace WORKLOAD``
+    Run one workload with the observability layer attached and export
+    the event trace as Perfetto/Chrome trace JSON (``--perfetto``), a
+    structure-occupancy CSV (``--occupancy``, sampled every
+    ``--stride`` cycles), and/or a metrics JSON (``--metrics``).
 """
 
 from __future__ import annotations
@@ -38,6 +43,7 @@ from .analysis.parallel import SimSpec, print_progress, simulate_configs
 from .analysis.sweeps import CANNED_SWEEPS, run_named_sweep
 from .config import CONFIG_BUILDERS, build_named_config
 from .core import simulate
+from .obs import EVENT_KINDS
 from .workloads import intensity_of, workload_names
 
 # figure/table id -> (extractor taking a matrix, output filename)
@@ -63,6 +69,13 @@ FIGURES: dict[str, tuple[Callable, str]] = {
     "table2": (figures.table2_mpki_classes, "table2_mpki_classes.txt"),
     "headline": (figures.headline_summary, "headline_summary.txt"),
 }
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -139,6 +152,29 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="configs to verify (default: the golden five)")
     verify.add_argument("--report-dir", default="verify_reports",
                         help="where divergence reports are written")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one workload with event tracing and export the trace")
+    trace.add_argument("workload")
+    trace.add_argument("--config", default="hybrid",
+                       choices=sorted(CONFIG_BUILDERS))
+    trace.add_argument("--instructions", type=int, default=10_000)
+    trace.add_argument("--warmup", type=int, default=12_000)
+    trace.add_argument("--events", nargs="+", choices=sorted(EVENT_KINDS),
+                       default=None, metavar="KIND",
+                       help=f"event kinds to record (default: all of "
+                            f"{', '.join(EVENT_KINDS)})")
+    trace.add_argument("--capacity", type=_positive_int, default=65536,
+                       help="event ring-buffer capacity")
+    trace.add_argument("--perfetto", default=None, metavar="OUT",
+                       help="write Chrome/Perfetto trace JSON here")
+    trace.add_argument("--occupancy", default=None, metavar="OUT",
+                       help="write the occupancy-sample CSV here")
+    trace.add_argument("--stride", type=_positive_int, default=64,
+                       help="cycles between occupancy samples")
+    trace.add_argument("--metrics", default=None, metavar="OUT",
+                       help="write the metrics-registry JSON here")
 
     sweep = sub.add_parser("sweep", help="run a sensitivity sweep")
     sweep.add_argument("name", choices=sorted(CANNED_SWEEPS))
@@ -310,6 +346,33 @@ def _cmd_verify(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from .obs import run_traced
+
+    run = run_traced(
+        args.workload, args.config,
+        max_instructions=args.instructions,
+        warmup_instructions=args.warmup,
+        kinds=args.events,
+        capacity=args.capacity,
+        occupancy_stride=args.stride if args.occupancy else None,
+    )
+    print(f"{args.workload} / {args.config}: "
+          f"{run.stats.committed_insts} insts, {run.stats.cycles} cycles")
+    print(run.trace.summary())
+    if args.perfetto:
+        path = run.write_perfetto(args.perfetto)
+        print(f"perfetto trace -> {path}")
+    if args.occupancy:
+        path = run.write_occupancy(args.occupancy)
+        print(f"occupancy csv  -> {path} "
+              f"({len(run.samples)} samples, stride {args.stride})")
+    if args.metrics:
+        path = run.write_metrics(args.metrics)
+        print(f"metrics json   -> {path}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -326,6 +389,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_bench_throughput(args)
     if args.command == "verify":
         return _cmd_verify(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "sweep":
         table = run_named_sweep(args.name, benches=args.benches,
                                 instructions=args.instructions,

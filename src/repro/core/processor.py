@@ -200,6 +200,10 @@ class Processor:
         self.ev: dict[str, int] = {}
         # Optional observer called as commit_hook(uop, cycle) for every
         # architecturally committed instruction (see repro.core.trace).
+        # Richer observability — typed event traces, Perfetto export,
+        # occupancy sampling — attaches via repro.obs.Tracer, which
+        # shadows cold-path methods per instance so this hot loop never
+        # checks for it.
         self.commit_hook = None
 
     def set_cycle_hook(self, hook) -> None:
@@ -616,19 +620,8 @@ class Processor:
                 if ra.collect_chain_stats:
                     self._check_chain_cache_accuracy(head, cached)
         if chain is None:
-            result = generate_chain(
-                rob, head, self.store_queue,
-                max_length=ra.max_chain_length,
-                reg_searches_per_cycle=ra.reg_searches_per_cycle,
-                readout_width=ra.chain_readout_width,
-            )
-            self.stats.chain_generations += 1
-            ev["pc_cam"] = ev.get("pc_cam", 0) + 1
-            ev["destreg_cam"] = ev.get("destreg_cam", 0) + result.reg_searches
-            ev["sq_cam"] = ev.get("sq_cam", 0) + result.sq_searches
-            ev["rob_read"] = ev.get("rob_read", 0) + len(result.chain)
+            result = self._generate_chain(head)
             gen_cycles = result.cycles
-            self.stats.chain_gen_cycles += gen_cycles
             if mode is RunaheadMode.HYBRID:
                 if not result.found_pc or result.hit_cap:
                     # Fig. 8 fallback: traditional runahead (gated by the
@@ -659,6 +652,27 @@ class Processor:
             self._entry_declined_seq = head.seq
             return
         self._enter_rab(head, chain, gen_cycles, used_cc, now)
+
+    def _generate_chain(self, head: InFlightUop):
+        """Run Algorithm 1 against the stalled ROB and account the
+        generation's energy events.  Kept as a separate method so the
+        observability layer (:mod:`repro.obs`) can shadow it per
+        instance to record chain-extraction events."""
+        ra = self.config.runahead
+        result = generate_chain(
+            self.rob, head, self.store_queue,
+            max_length=ra.max_chain_length,
+            reg_searches_per_cycle=ra.reg_searches_per_cycle,
+            readout_width=ra.chain_readout_width,
+        )
+        self.stats.chain_generations += 1
+        ev = self.ev
+        ev["pc_cam"] = ev.get("pc_cam", 0) + 1
+        ev["destreg_cam"] = ev.get("destreg_cam", 0) + result.reg_searches
+        ev["sq_cam"] = ev.get("sq_cam", 0) + result.sq_searches
+        ev["rob_read"] = ev.get("rob_read", 0) + len(result.chain)
+        self.stats.chain_gen_cycles += result.cycles
+        return result
 
     def _check_chain_cache_accuracy(
         self, head: InFlightUop, cached: tuple[ChainUop, ...]

@@ -11,7 +11,7 @@ This is the main entry point of the public API::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
 from ..config import SystemConfig, default_system
 from ..energy import EnergyModel, EnergyReport
@@ -53,14 +53,23 @@ def simulate(
     warmup_instructions: int = 12_000,
     max_cycles: Optional[int] = None,
     config_name: str = "",
+    attach: Optional[Callable[[Processor], None]] = None,
 ) -> SimulationResult:
-    """Run one workload on one configuration and return stats + energy."""
+    """Run one workload on one configuration and return stats + energy.
+
+    ``attach`` is called with the processor after warm-up but before the
+    timed run — the seam observers use (e.g.
+    :meth:`repro.obs.Tracer.attach`) so functional warm-up traffic never
+    pollutes a trace.
+    """
     if config is None:
         config = default_system()
     program, memory, init_regs = _resolve_workload(workload)
     processor = Processor(program, config, memory=memory, init_regs=init_regs)
     if warmup_instructions > 0:
         processor.warm_up(warmup_instructions)
+    if attach is not None:
+        attach(processor)
     stats = processor.run(max_instructions, max_cycles=max_cycles)
     stats.config_name = config_name or stats.config_name
     model = EnergyModel(config.energy, config.core.clock_ghz)

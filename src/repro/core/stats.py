@@ -192,6 +192,18 @@ class SimStats:
     def total_energy_j(self) -> float:
         return self.energy_report.get("total", 0.0)
 
+    def metrics(self, names: Any = None) -> dict[str, float]:
+        """Named-metric view of this run (see :mod:`repro.obs.metrics`).
+
+        Unlike :meth:`to_dict` — the raw cache serialization — this goes
+        through the default :class:`~repro.obs.MetricsRegistry`, so every
+        value carries a documented name and unit and can be exported
+        alongside other runs.
+        """
+        from ..obs import default_registry
+
+        return default_registry().collect(self, names=names)
+
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable dump, including derived metrics."""
         out: dict[str, Any] = {}

@@ -9,6 +9,10 @@ Two facilities for studying runs:
 * :func:`render_interval_timeline` — an ASCII timeline of a run's
   runahead intervals (mode, duration, misses generated), the quickest
   way to *see* what a policy is doing.
+
+For structured event traces (typed events, Perfetto/Chrome trace
+export, occupancy sampling, the metrics registry) see :mod:`repro.obs`,
+which attaches through the same zero-cost hook pattern.
 """
 
 from __future__ import annotations

@@ -104,6 +104,12 @@ class MemoryHierarchy:
             limit -= self._SPECULATIVE_RESERVE
         if len(fills) < limit:
             return 0
+        if not fills:
+            # Degenerate config: fewer MSHRs than the speculative
+            # reserve, so no slot ever frees for this kind — bounce a
+            # cycle at a time (prefetches are simply dropped; runahead
+            # loads retry until the interval ends).
+            return now + 1
         # Conservative retry point: the earliest completion.  The caller
         # may retry while still over the limit and be bounced again; each
         # bounce moves it forward, so progress is guaranteed.
@@ -111,6 +117,12 @@ class MemoryHierarchy:
 
     def _register_fill(self, done: int) -> None:
         heapq.heappush(self._fills, done)
+
+    def mshr_occupancy(self, now: int) -> int:
+        """LLC MSHRs in flight at ``now``.  Non-mutating (unlike
+        ``_mshr_free_at``) so observers can sample it anywhere without
+        perturbing the heap-drain schedule."""
+        return sum(1 for done in self._fills if done > now)
 
     # -- prefetch issue -----------------------------------------------------------
 

@@ -175,6 +175,12 @@ class StreamPrefetcher:
         self.stats.evicted_unused += 1
         self._interval_unused += 1
 
+    def interval_snapshot(self) -> tuple[int, int, int]:
+        """Current FDP window counters ``(issued, useful, unused)`` —
+        read by the observability layer around a feedback evaluation."""
+        return (self._interval_issued, self._interval_useful,
+                self._interval_unused)
+
     def _feedback(self) -> None:
         resolved = self._interval_useful + self._interval_unused
         if resolved < max(4, self.config.fdp_interval // 8):

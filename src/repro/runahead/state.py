@@ -122,6 +122,12 @@ class RunaheadPolicyState:
 
     # -- aggregates -------------------------------------------------------------------
 
+    @property
+    def last_interval(self) -> IntervalRecord | None:
+        """The most recently *closed* interval (observability reads this
+        right after an exit to label the interval's trace slice)."""
+        return self.intervals[-1] if self.intervals else None
+
     def interval_count(self, kind: str | None = None) -> int:
         if kind is None:
             return len(self.intervals)

@@ -82,3 +82,46 @@ def test_figure_with_tiny_budget(capsys, tmp_path, monkeypatch):
     code = main(["figure", "table2", "--instructions", "400"])
     assert code == 0
     assert "Table 2" in capsys.readouterr().out
+
+
+def test_trace_exports(capsys, tmp_path):
+    perfetto = tmp_path / "out.perfetto.json"
+    occupancy = tmp_path / "occ.csv"
+    metrics = tmp_path / "metrics.json"
+    code = main(["trace", "mcf", "--config", "hybrid",
+                 "--instructions", "1500", "--warmup", "1500",
+                 "--perfetto", str(perfetto),
+                 "--occupancy", str(occupancy), "--stride", "32",
+                 "--metrics", str(metrics)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "runahead_enter" in out and "dram" in out
+    import json
+    doc = json.loads(perfetto.read_text())
+    assert doc["otherData"]["workload"] == "mcf"
+    assert occupancy.read_text().startswith("cycle,mode,rob")
+    assert "core.ipc" in json.loads(metrics.read_text())["metrics"]
+
+
+def test_trace_event_filter(capsys):
+    code = main(["trace", "mcf", "--config", "hybrid",
+                 "--instructions", "1000", "--warmup", "1000",
+                 "--events", "dram", "runahead_enter"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "dram" in out
+    assert "chain_extract" not in out
+
+
+def test_trace_bad_stride_rejected(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["trace", "mcf", "--stride", "0"])
+    assert exc.value.code == 2
+    assert "must be positive" in capsys.readouterr().err
+
+
+def test_trace_unknown_event_kind_rejected(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["trace", "mcf", "--events", "bogus_kind"])
+    assert exc.value.code == 2
+    assert "invalid choice" in capsys.readouterr().err

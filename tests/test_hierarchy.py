@@ -94,6 +94,28 @@ class TestMshrBackpressure:
         late = max(dones) + 1
         assert h.load(1 << 26, now=late, kind="runahead").level == "DRAM"
 
+    def test_fewer_mshrs_than_speculative_reserve(self):
+        """A config with llc.mshrs <= the speculative reserve leaves no
+        slot for speculative kinds; the request must bounce forward (not
+        IndexError on the empty fill heap — found by the config fuzzer)."""
+        cfg = make_config()
+        cfg.llc.mshrs = MemoryHierarchy._SPECULATIVE_RESERVE
+        h = MemoryHierarchy(cfg)
+        result = h.load(1 << 24, now=7, kind="runahead")
+        assert result.level == "RETRY"
+        assert result.done_cycle > 7
+        # Demand traffic is unaffected.
+        assert h.load(1 << 26, now=7, kind="demand").level == "DRAM"
+
+    def test_mshr_occupancy_is_non_mutating(self):
+        h = make_hierarchy()
+        done = h.load(1 << 24, now=0).done_cycle
+        heap_before = list(h._fills)
+        assert h.mshr_occupancy(0) == 1
+        assert h.mshr_occupancy(done) == 0     # completed at `done`
+        assert h._fills == heap_before          # observer left the heap alone
+        assert h.mshr_occupancy(0) == 1         # ...so it can re-read the past
+
 
 class TestStoresAndIfetch:
     def test_store_commit_marks_dirty(self):

@@ -1,0 +1,282 @@
+"""Machine-checked paper-shape regression suite.
+
+EXPERIMENTS.md tracks which of the paper's qualitative *shapes* —
+orderings, signs, rough factors, per-benchmark outliers — the
+reproduction achieves (its ✅ column).  This suite turns every one of
+those claims into an assertion over the committed run matrix
+(``results/experiments.json``), so a model change that silently breaks
+a reproduced shape fails CI instead of rotting the document.
+
+Two kinds of tests:
+
+* ``test_shape_*`` — run each check against the real matrix.
+* ``TestGateBites`` — run the same checks against deliberately
+  perturbed copies of the matrix and assert they *fail*, proving each
+  gate actually discriminates (a vacuous assertion would pass both).
+
+The suite intentionally reads the raw JSON, not :class:`ExperimentMatrix`:
+it must never simulate.  A stale matrix (model-version bump without a
+regen) is a hard failure, not a skip — regenerate with::
+
+    PYTHONPATH=src python -m repro suite --jobs <N>
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import KEY_SCHEMA, MODEL_VERSION
+from repro.analysis.metrics import gmean
+from repro.workloads import medium_high_names
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "results" / "experiments.json"
+
+
+class Grid:
+    """Read-only view of one committed experiment matrix."""
+
+    def __init__(self, payload: dict) -> None:
+        if (payload.get("model_version") != MODEL_VERSION
+                or payload.get("key_schema") != KEY_SCHEMA):
+            pytest.fail(
+                f"results/experiments.json is stale "
+                f"(model_version={payload.get('model_version')}, "
+                f"key_schema={payload.get('key_schema')}; code expects "
+                f"{MODEL_VERSION}/{KEY_SCHEMA}).  Regenerate with "
+                f"`python -m repro suite` and commit the result."
+            )
+        self.instructions = payload["instructions"]
+        self.warmup = payload["warmup"]
+        self.results = payload["results"]
+        self.workloads = medium_high_names()
+
+    def cell(self, workload: str, config: str) -> dict:
+        base = f"{workload}/{config}/{self.instructions}/w{self.warmup}"
+        found = self.results.get(base)
+        if found is None:  # +chains is a timing-identical superset
+            found = self.results.get(
+                f"{workload}/{config}+chains"
+                f"/{self.instructions}/w{self.warmup}")
+        if found is None:
+            pytest.fail(f"matrix is missing cell {base!r}; "
+                        f"run `python -m repro suite`")
+        return found
+
+    # -- aggregates mirroring repro.analysis.figures ------------------------
+
+    def speedup_pct(self, workload: str, config: str) -> float:
+        base = self.cell(workload, "baseline")["ipc"]
+        return 100.0 * (self.cell(workload, config)["ipc"] / base - 1.0)
+
+    def gmean_speedup_pct(self, config: str) -> float:
+        ratios = [self.cell(w, config)["ipc"] / self.cell(w, "baseline")["ipc"]
+                  for w in self.workloads]
+        return 100.0 * (gmean(ratios) - 1.0)
+
+    def gmean_energy_pct(self, config: str) -> float:
+        ratios = [self.cell(w, config)["total_energy_j"]
+                  / self.cell(w, "baseline")["total_energy_j"]
+                  for w in self.workloads]
+        return 100.0 * (gmean(ratios) - 1.0)
+
+    def avg_misses_per_interval(self, config: str) -> float:
+        values = [self.cell(w, config)["misses_per_interval"]
+                  for w in self.workloads]
+        return sum(values) / len(values)
+
+    def avg_hybrid_rab_share(self) -> float:
+        values = [self.cell(w, "hybrid")["hybrid_rab_share"]
+                  for w in self.workloads]
+        return sum(values) / len(values)
+
+
+@pytest.fixture(scope="module")
+def grid() -> Grid:
+    if not RESULTS_PATH.exists():
+        pytest.fail(f"{RESULTS_PATH} not found; run `python -m repro suite`")
+    return Grid(json.loads(RESULTS_PATH.read_text()))
+
+
+# ---------------------------------------------------------------------------
+# The shape checks.  Plain functions over a Grid so the perturbation tests
+# can run them against doctored matrices.
+# ---------------------------------------------------------------------------
+
+def check_fig9_perf_ordering(grid: Grid) -> None:
+    """Fig. 9 / abstract: no-PF speedups order RA < RAB ≈ RAB+CC < Hybrid,
+    and every mechanism beats the baseline."""
+    ra = grid.gmean_speedup_pct("runahead")
+    rab = grid.gmean_speedup_pct("rab")
+    rab_cc = grid.gmean_speedup_pct("rab_cc")
+    hybrid = grid.gmean_speedup_pct("hybrid")
+    assert ra > 0 and rab > 0 and rab_cc > 0 and hybrid > 0, \
+        f"some mechanism lost to baseline: {ra=:.1f} {rab=:.1f} " \
+        f"{rab_cc=:.1f} {hybrid=:.1f}"
+    assert ra < rab, f"runahead ({ra:.1f}%) should trail rab ({rab:.1f}%)"
+    assert abs(rab - rab_cc) < 5.0, \
+        f"rab ({rab:.1f}%) and rab_cc ({rab_cc:.1f}%) should be within 5pp"
+    assert hybrid >= rab and hybrid >= rab_cc, \
+        f"hybrid ({hybrid:.1f}%) should lead rab ({rab:.1f}%) " \
+        f"and rab_cc ({rab_cc:.1f}%)"
+
+
+def check_fig10_mlp_ratio(grid: Grid) -> None:
+    """Fig. 10 / abstract: the runahead buffer uncovers ~2x the misses per
+    interval of traditional runahead; prefetching reduces both, without
+    flipping the ordering."""
+    ra = grid.avg_misses_per_interval("runahead")
+    rab = grid.avg_misses_per_interval("rab")
+    assert 1.5 <= rab / ra <= 3.0, \
+        f"rab/ra misses-per-interval ratio {rab / ra:.2f} left the " \
+        f"paper's ~2x band (ra={ra:.1f}, rab={rab:.1f})"
+    ra_pf = grid.avg_misses_per_interval("runahead_pf")
+    rab_pf = grid.avg_misses_per_interval("rab_pf")
+    assert ra_pf < ra and rab_pf < rab, \
+        f"prefetching should reduce misses/interval " \
+        f"(ra {ra:.1f}->{ra_pf:.1f}, rab {rab:.1f}->{rab_pf:.1f})"
+    assert rab_pf >= ra_pf, \
+        f"with PF, rab ({rab_pf:.1f}) should still match or exceed " \
+        f"runahead ({ra_pf:.1f})"
+
+
+def check_fig17_energy_signs(grid: Grid) -> None:
+    """Fig. 17 / abstract: buffer-based mechanisms save energy, traditional
+    runahead costs energy, and the ISCA'05 enhancements reduce (without
+    reversing) that cost."""
+    ra = grid.gmean_energy_pct("runahead")
+    ra_enh = grid.gmean_energy_pct("runahead_enh")
+    assert ra > 0, f"traditional runahead energy should exceed baseline " \
+                   f"(got {ra:+.1f}%)"
+    assert ra_enh <= ra, \
+        f"enhancements ({ra_enh:+.1f}%) should not cost more than plain " \
+        f"runahead ({ra:+.1f}%)"
+    for config in ("rab", "rab_cc", "hybrid"):
+        delta = grid.gmean_energy_pct(config)
+        assert delta <= 0, f"{config} energy should not exceed baseline " \
+                           f"(got {delta:+.1f}%)"
+
+
+def check_fig14_hybrid_buffer_favoured(grid: Grid) -> None:
+    """Fig. 14: the hybrid policy spends most runahead cycles in buffer
+    mode on average, but falls back to traditional on omnetpp (whose
+    chains overflow the 32-uop buffer)."""
+    share = grid.avg_hybrid_rab_share()
+    assert share >= 0.5, \
+        f"hybrid should be buffer-favoured on average (share={share:.2f})"
+    omnetpp = grid.cell("omnetpp", "hybrid")["hybrid_rab_share"]
+    assert omnetpp <= 0.25, \
+        f"omnetpp should run mostly traditional under hybrid " \
+        f"(buffer share {omnetpp:.2f})"
+
+
+def check_omnetpp_prefers_traditional(grid: Grid) -> None:
+    """Fig. 9 outlier: omnetpp's long chains favour traditional runahead
+    over the runahead buffer (and the paper calls this out)."""
+    ra = grid.speedup_pct("omnetpp", "runahead")
+    rab = grid.speedup_pct("omnetpp", "rab")
+    assert ra > rab, \
+        f"omnetpp should prefer traditional runahead " \
+        f"(runahead {ra:+.1f}% vs rab {rab:+.1f}%)"
+
+
+def check_fig15_runahead_beats_pf_alone(grid: Grid) -> None:
+    """Fig. 15: traditional runahead on top of the stream prefetcher beats
+    the prefetcher alone (the orthogonal-MLP claim)."""
+    pf = grid.gmean_speedup_pct("pf")
+    ra_pf = grid.gmean_speedup_pct("runahead_pf")
+    assert ra_pf > pf, \
+        f"runahead+PF ({ra_pf:+.1f}%) should beat PF alone ({pf:+.1f}%)"
+
+
+ALL_CHECKS = (
+    check_fig9_perf_ordering,
+    check_fig10_mlp_ratio,
+    check_fig17_energy_signs,
+    check_fig14_hybrid_buffer_favoured,
+    check_omnetpp_prefers_traditional,
+    check_fig15_runahead_beats_pf_alone,
+)
+
+
+# ---------------------------------------------------------------------------
+# The real gates.
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("check", ALL_CHECKS, ids=lambda c: c.__name__)
+def test_shape(grid: Grid, check) -> None:
+    check(grid)
+
+
+# ---------------------------------------------------------------------------
+# Prove each gate bites: perturb the matrix so the claim is false and
+# assert the check fails.  A check that passes its perturbed fixture is
+# vacuous and must be fixed.
+# ---------------------------------------------------------------------------
+
+def _perturbed(grid: Grid, mutate) -> Grid:
+    clone = copy.deepcopy(grid)
+    mutate(clone)
+    return clone
+
+
+def _scale_cells(grid: Grid, config: str, field: str, factor: float) -> None:
+    for workload in grid.workloads:
+        cell = grid.cell(workload, config)
+        cell[field] = cell[field] * factor
+
+
+class TestGateBites:
+    def test_fig9_gate(self, grid: Grid) -> None:
+        # Sink the buffer configs below traditional runahead.
+        bad = _perturbed(grid, lambda g: [
+            _scale_cells(g, c, "ipc", 0.5) for c in ("rab", "rab_cc",
+                                                     "hybrid")])
+        with pytest.raises(AssertionError):
+            check_fig9_perf_ordering(bad)
+
+    def test_fig10_gate(self, grid: Grid) -> None:
+        # Collapse the buffer's MLP advantage.
+        bad = _perturbed(
+            grid,
+            lambda g: _scale_cells(g, "rab", "misses_per_interval", 0.5))
+        with pytest.raises(AssertionError):
+            check_fig10_mlp_ratio(bad)
+
+    def test_fig17_gate(self, grid: Grid) -> None:
+        # Make the runahead buffer an energy loser.
+        bad = _perturbed(
+            grid, lambda g: _scale_cells(g, "rab", "total_energy_j", 1.5))
+        with pytest.raises(AssertionError):
+            check_fig17_energy_signs(bad)
+
+    def test_fig14_gate(self, grid: Grid) -> None:
+        def flip(g: Grid) -> None:
+            for workload in g.workloads:
+                g.cell(workload, "hybrid")["hybrid_rab_share"] = 0.1
+
+        with pytest.raises(AssertionError):
+            check_fig14_hybrid_buffer_favoured(_perturbed(grid, flip))
+
+    def test_omnetpp_gate(self, grid: Grid) -> None:
+        def swap(g: Grid) -> None:
+            ra = g.cell("omnetpp", "runahead")
+            rab = g.cell("omnetpp", "rab")
+            ra["ipc"], rab["ipc"] = rab["ipc"], ra["ipc"]
+
+        with pytest.raises(AssertionError):
+            check_omnetpp_prefers_traditional(_perturbed(grid, swap))
+
+    def test_fig15_gate(self, grid: Grid) -> None:
+        bad = _perturbed(
+            grid, lambda g: _scale_cells(g, "runahead_pf", "ipc", 0.5))
+        with pytest.raises(AssertionError):
+            check_fig15_runahead_beats_pf_alone(bad)
+
+    def test_stale_matrix_fails(self, grid: Grid) -> None:
+        with pytest.raises(pytest.fail.Exception):
+            Grid({"model_version": MODEL_VERSION - 1,
+                  "key_schema": KEY_SCHEMA, "results": {}})

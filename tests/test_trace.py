@@ -58,6 +58,33 @@ class TestCommitTrace:
         with pytest.raises(ValueError):
             CommitTrace(capacity=0)
 
+    def test_capacity_one_keeps_latest_commit(self):
+        proc = Processor(build_counted_loop(50), default_system())
+        trace = CommitTrace(capacity=1)
+        proc.commit_hook = trace.on_commit
+        stats = proc.run(500)
+        assert len(trace) == 1
+        assert trace.total_commits == stats.committed_insts
+        # The surviving entry is the newest one, and every accessor
+        # agrees on the single-element view.
+        (op,) = trace.entries
+        assert op.seq == max(op.seq for op in trace.last(100))
+        assert trace.pcs() == [op.pc]
+        assert trace.format(5).count("\n") == 1  # header + one row
+
+    def test_rollover_keeps_most_recent_window(self):
+        proc = Processor(build_counted_loop(100), default_system())
+        small = CommitTrace(capacity=8)
+        proc.commit_hook = small.on_commit
+        proc.run(2000)
+        proc2 = Processor(build_counted_loop(100), default_system())
+        full = CommitTrace(capacity=100_000)
+        proc2.commit_hook = full.on_commit
+        proc2.run(2000)
+        assert small.total_commits == full.total_commits
+        assert [op.seq for op in small.entries] == \
+            [op.seq for op in full.entries][-8:]
+
     def test_last_n(self):
         proc = Processor(build_counted_loop(20), default_system())
         trace = CommitTrace()
@@ -83,6 +110,29 @@ class TestIntervalTimeline:
 
     def test_empty_run(self):
         assert render_interval_timeline([], 0) == "(empty run)"
+
+    def test_zero_intervals_with_cycles(self):
+        """A real run that never entered runahead: all-normal lane."""
+        timeline = render_interval_timeline([], total_cycles=500, width=40)
+        lane = timeline.split("\n")[1]
+        assert lane == "." * 40
+        assert "0 intervals (0 buffer, 0 traditional)" in timeline
+
+    def test_single_cycle_interval(self):
+        """entry == exit must render one mark, not crash or mark nothing."""
+        timeline = render_interval_timeline(
+            [self._record("buffer", 250, 250)], total_cycles=1000, width=40)
+        lane = timeline.split("\n")[1]
+        assert lane.count("B") == 1
+        assert "cycles 250..250 (0)" in timeline
+
+    def test_interval_at_final_cycle_stays_in_lane(self):
+        timeline = render_interval_timeline(
+            [self._record("traditional", 999, 1000)],
+            total_cycles=1000, width=40)
+        lane = timeline.split("\n")[1]
+        assert lane[-1] == "T"
+        assert len(lane) == 40
 
     def test_summary_counts(self):
         timeline = render_interval_timeline(
