@@ -8,9 +8,23 @@ gate CI on a regression against a committed baseline.
 
 Timing methodology: each cell builds a fresh workload + processor, runs
 the functional warm-up (timed separately — it is not cycle-level work)
-and then times ``Processor.run`` alone with ``perf_counter``.  The best
+and then times the simulation alone with ``perf_counter``.  The best
 of ``reps`` repetitions is reported, which filters scheduler noise while
 staying cheap enough for CI.
+
+Tier accounting (pinned by tests/test_bench_throughput.py):
+
+* ``warmup_seconds`` is always reported separately and never enters any
+  KIPS figure — warm-up is functional work, not simulation.
+* Detailed cells: ``kips`` = committed instructions / detailed-run
+  seconds, exactly as before.
+* Two-level cells: ``kips`` (the headline rate) = instructions advanced
+  through *both* tiers / (detailed + fast-forward seconds), while
+  ``kips_detailed`` = detailed-burst instructions / detailed seconds
+  alone — fast-forward time is never folded into the detailed-tier
+  rate.  Two-level cells run a ``TWO_LEVEL_SCALE``-times larger budget
+  so several sampling strides fit; KIPS is a rate, so the
+  ``two_level_speedup`` section compares rates across unequal budgets.
 """
 
 from __future__ import annotations
@@ -23,7 +37,7 @@ import time
 from pathlib import Path
 from typing import Any, Optional, Sequence
 
-from ..config import build_named_config
+from ..config import SamplingConfig, build_named_config
 from ..core.processor import Processor
 from ..workloads import build_workload
 
@@ -44,11 +58,18 @@ DEFAULT_INSTRUCTIONS = 20_000
 DEFAULT_WARMUP = 12_000
 DEFAULT_REPS = 2
 
-SCHEMA = 1
+# Two-level cells simulate this many times the detailed budget so the
+# run spans several sampling strides (KIPS is a rate; see module doc).
+TWO_LEVEL_SCALE = 10
+
+SCHEMA = 2
+
+DEFAULT_TIERS = ("detailed",)
 
 
 def _time_cell(workload: str, config_name: str, instructions: int,
-               warmup: int) -> dict[str, Any]:
+               warmup: int,
+               plan: Optional[SamplingConfig] = None) -> dict[str, Any]:
     """One timed simulation: returns KIPS plus raw timing components."""
     built = build_workload(workload)
     config = build_named_config(config_name)
@@ -58,10 +79,32 @@ def _time_cell(workload: str, config_name: str, instructions: int,
     if warmup > 0:
         processor.warm_up(warmup)
     t1 = time.perf_counter()
+    if plan is not None and plan.is_sampled:
+        from ..fastpath import run_two_tier
+        meta = run_two_tier(processor, plan, instructions)
+        stats = processor.stats
+        detailed_seconds = meta["detailed_seconds"]
+        ff_seconds = meta["fast_forward_seconds"]
+        sim_seconds = detailed_seconds + ff_seconds
+        advanced = meta["instructions_advanced"]
+        return {
+            "tier": plan.tier,
+            "committed": stats.committed_insts,
+            "advanced": advanced,
+            "cycles": stats.cycles,
+            "warmup_seconds": round(t1 - t0, 6),
+            "sim_seconds": round(sim_seconds, 6),
+            "ff_seconds": round(ff_seconds, 6),
+            "kips": round(advanced / sim_seconds / 1000.0, 3),
+            "kips_detailed": round(
+                stats.committed_insts / detailed_seconds / 1000.0, 3)
+            if detailed_seconds else 0.0,
+        }
     stats = processor.run(instructions)
     t2 = time.perf_counter()
     sim_seconds = t2 - t1
     return {
+        "tier": "detailed",
         "committed": stats.committed_insts,
         "cycles": stats.cycles,
         "warmup_seconds": round(t1 - t0, 6),
@@ -71,13 +114,13 @@ def _time_cell(workload: str, config_name: str, instructions: int,
 
 
 def measure_cell(workload: str, mode: str, instructions: int = DEFAULT_INSTRUCTIONS,
-                 warmup: int = DEFAULT_WARMUP, reps: int = DEFAULT_REPS
-                 ) -> dict[str, Any]:
-    """Best-of-``reps`` measurement of one (workload, mode) cell."""
+                 warmup: int = DEFAULT_WARMUP, reps: int = DEFAULT_REPS,
+                 plan: Optional[SamplingConfig] = None) -> dict[str, Any]:
+    """Best-of-``reps`` measurement of one (workload, mode, tier) cell."""
     config_name = MODES[mode]
     best: Optional[dict[str, Any]] = None
     for _ in range(max(1, reps)):
-        sample = _time_cell(workload, config_name, instructions, warmup)
+        sample = _time_cell(workload, config_name, instructions, warmup, plan)
         if best is None or sample["kips"] > best["kips"]:
             best = sample
     assert best is not None
@@ -93,25 +136,51 @@ def geomean(values: Sequence[float]) -> float:
     return math.exp(sum(math.log(v) for v in vals) / len(vals))
 
 
+def _mode_key(mode: str, tier: str) -> str:
+    """Geomean key: detailed keeps the bare mode name (schema-1 compat);
+    other tiers get a ``mode/tier`` suffix."""
+    return mode if tier == "detailed" else f"{mode}/{tier}"
+
+
 def run_benchmark(workloads: Sequence[str] = DEFAULT_WORKLOADS,
                   modes: Sequence[str] = tuple(MODES),
                   instructions: int = DEFAULT_INSTRUCTIONS,
                   warmup: int = DEFAULT_WARMUP,
                   reps: int = DEFAULT_REPS,
+                  tiers: Sequence[str] = DEFAULT_TIERS,
+                  plan: Optional[SamplingConfig] = None,
                   progress=None) -> dict[str, Any]:
-    """Measure the full grid and assemble the result document."""
+    """Measure the full grid and assemble the result document.
+
+    ``tiers`` selects which execution tiers each (workload, mode) cell is
+    measured under; with both tiers present the document also carries a
+    ``two_level_speedup`` section (two-level KIPS over detailed KIPS, per
+    cell and per-mode geomean).
+    """
+    if plan is None:
+        plan = SamplingConfig(tier="two-level")
     results = []
     for workload in workloads:
         for mode in modes:
-            cell = measure_cell(workload, mode, instructions, warmup, reps)
-            results.append(cell)
-            if progress is not None:
-                progress(f"{workload:12s} {mode:7s} {cell['kips']:8.1f} KIPS")
+            for tier in tiers:
+                if tier == "detailed":
+                    cell = measure_cell(workload, mode, instructions,
+                                        warmup, reps)
+                else:
+                    cell = measure_cell(workload, mode,
+                                        instructions * TWO_LEVEL_SCALE,
+                                        warmup, reps, plan=plan)
+                results.append(cell)
+                if progress is not None:
+                    progress(f"{workload:12s} {mode:7s} {tier:10s} "
+                             f"{cell['kips']:8.1f} KIPS")
+    mode_keys = [_mode_key(mode, tier) for mode in modes for tier in tiers]
     by_mode = {
-        mode: round(geomean([c["kips"] for c in results if c["mode"] == mode]), 3)
-        for mode in modes
+        key: round(geomean([c["kips"] for c in results
+                            if _mode_key(c["mode"], c["tier"]) == key]), 3)
+        for key in mode_keys
     }
-    return {
+    doc = {
         "schema": SCHEMA,
         "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "host": {
@@ -122,11 +191,46 @@ def run_benchmark(workloads: Sequence[str] = DEFAULT_WORKLOADS,
         "instructions": instructions,
         "warmup": warmup,
         "reps": reps,
+        "tiers": list(tiers),
         "results": results,
         "geomean_kips": {
             **by_mode,
             "overall": round(geomean([c["kips"] for c in results]), 3),
         },
+    }
+    if "two-level" in tiers:
+        doc["sampling_plan"] = {
+            "ramp_instructions": plan.ramp_instructions,
+            "window_instructions": plan.window_instructions,
+            "stride_instructions": plan.stride_instructions,
+        }
+    if "detailed" in tiers and "two-level" in tiers:
+        doc["two_level_speedup"] = _two_level_speedup(results, modes)
+    return doc
+
+
+def _two_level_speedup(results: Sequence[dict[str, Any]],
+                       modes: Sequence[str]) -> dict[str, Any]:
+    """Two-level over detailed KIPS, per cell and per-mode geomean."""
+    detailed = {(c["workload"], c["mode"]): c["kips"]
+                for c in results if c["tier"] == "detailed"}
+    per_cell = {}
+    for c in results:
+        if c["tier"] != "two-level":
+            continue
+        base = detailed.get((c["workload"], c["mode"]))
+        if base:
+            per_cell[f"{c['workload']}/{c['mode']}"] = round(
+                c["kips"] / base, 2)
+    per_mode = {
+        mode: round(geomean([v for key, v in per_cell.items()
+                             if key.endswith(f"/{mode}")]), 2)
+        for mode in modes
+    }
+    return {
+        "per_cell": per_cell,
+        "geomean": per_mode,
+        "overall": round(geomean(list(per_cell.values())), 2),
     }
 
 

@@ -12,8 +12,11 @@ Cache invalidation follows two rules:
   behaviour changes so stale results are discarded wholesale.
 * ``KEY_SCHEMA`` versions the cell-key format.  Keys embed every input
   that affects a cell's stats (workload, config, chain-stats variant,
-  instruction budget, warmup budget), so changing any budget addresses
-  different cells rather than silently reusing stale ones.
+  instruction budget, warmup budget, and — for sampled runs — the
+  execution tier and its ramp/window/stride plan), so changing any
+  budget addresses different cells rather than silently reusing stale
+  ones.  Fully detailed cells keep the bare schema-2 key shape; only
+  non-default tiers append a tier suffix.
 
 Instruction budgets default to quick-but-meaningful runs for a
 Python-hosted cycle-level simulator; override with the environment
@@ -29,12 +32,12 @@ import os
 from pathlib import Path
 from typing import Any, Callable, Optional, Sequence
 
-from ..config import CONFIG_BUILDERS, build_named_config
+from ..config import CONFIG_BUILDERS, SamplingConfig, build_named_config
 from ..core import simulate
 from ..workloads import medium_high_names, workload_names
 
 MODEL_VERSION = 4
-KEY_SCHEMA = 2
+KEY_SCHEMA = 3
 
 DEFAULT_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTS", "5000"))
 DEFAULT_WARMUP = int(os.environ.get("REPRO_BENCH_WARMUP", "12000"))
@@ -52,9 +55,13 @@ class ExperimentMatrix:
         warmup: int = DEFAULT_WARMUP,
         cache_path: Optional[str | Path] = "results/experiments.json",
         trace_dir: Optional[str | Path] = None,
+        sampling: Optional[SamplingConfig] = None,
     ) -> None:
         self.instructions = instructions
         self.warmup = warmup
+        self.sampling = sampling
+        if sampling is not None:
+            sampling.validate()
         self.cache_path = Path(cache_path) if cache_path else None
         # When set (or via REPRO_TRACE_DIR), every cell simulated
         # *in-process* also writes a Perfetto trace here.  Tracing is
@@ -77,10 +84,20 @@ class ExperimentMatrix:
 
     # -- keys ------------------------------------------------------------------
 
+    @property
+    def _tier_suffix(self) -> str:
+        """Key suffix for non-default tiers; empty for fully detailed
+        matrices so existing schema-2-shaped keys stay addressable."""
+        s = self.sampling
+        if s is None or not s.is_sampled:
+            return ""
+        return (f"/{s.tier}.r{s.ramp_instructions}"
+                f".w{s.window_instructions}.s{s.stride_instructions}")
+
     def _key(self, workload: str, config_name: str, chain_stats: bool) -> str:
         suffix = "+chains" if chain_stats else ""
         return (f"{workload}/{config_name}{suffix}"
-                f"/{self.instructions}/w{self.warmup}")
+                f"/{self.instructions}/w{self.warmup}{self._tier_suffix}")
 
     def _lookup(self, workload: str, config_name: str,
                 chain_stats: bool) -> Optional[dict[str, Any]]:
@@ -121,8 +138,11 @@ class ExperimentMatrix:
             warmup_instructions=self.warmup,
             config_name=config_name,
             attach=tracer.attach if tracer is not None else None,
+            sampling=self.sampling,
         )
         stats = result.stats.to_dict()
+        if result.sampling is not None:
+            stats["sampling"] = _cacheable_sampling(result.sampling)
         if tracer is not None:
             self._persist_trace(workload, config_name, chain_stats, tracer)
         self.store(workload, config_name, chain_stats, stats)
@@ -190,7 +210,14 @@ class ExperimentMatrix:
         missing = self.missing_cells(cells)
         if not missing:
             return 0
-        specs = [CellSpec(w, c, chains, self.instructions, self.warmup)
+        s = self.sampling
+        if s is not None and s.is_sampled:
+            tier_fields = (s.tier, s.ramp_instructions,
+                           s.window_instructions, s.stride_instructions)
+        else:
+            tier_fields = ("detailed", 0, 0, 0)
+        specs = [CellSpec(w, c, chains, self.instructions, self.warmup,
+                          *tier_fields)
                  for w, c, chains in missing]
         stats_list = simulate_cells(specs, jobs=jobs, progress=progress)
         for (workload, config_name, chain_stats), stats in zip(missing,
@@ -242,6 +269,13 @@ class ExperimentMatrix:
         finally:
             tmp.unlink(missing_ok=True)
         self._dirty = False
+
+
+def _cacheable_sampling(meta: dict[str, Any]) -> dict[str, Any]:
+    """Sampling metadata minus host-timing fields, so cached cells stay
+    deterministic (parallel == serial, rerun == cached)."""
+    return {k: v for k, v in meta.items()
+            if k not in ("detailed_seconds", "fast_forward_seconds")}
 
 
 def all_workloads() -> list[str]:

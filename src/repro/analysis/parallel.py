@@ -33,18 +33,29 @@ from typing import Any, Callable, NamedTuple, Optional, Sequence
 
 
 class CellSpec(NamedTuple):
-    """One experiment-matrix cell: a named config on a named workload."""
+    """One experiment-matrix cell: a named config on a named workload.
+
+    ``tier`` selects the execution tier (``"detailed"`` or
+    ``"two-level"``); the ramp/window/stride plan only matters for
+    sampled cells and stays zero otherwise, so detailed specs pickle
+    and compare exactly as before.
+    """
 
     workload: str
     config_name: str
     chain_stats: bool
     instructions: int
     warmup: int
+    tier: str = "detailed"
+    ramp: int = 0
+    window: int = 0
+    stride: int = 0
 
     @property
     def label(self) -> str:
         suffix = "+chains" if self.chain_stats else ""
-        return f"{self.workload}/{self.config_name}{suffix}"
+        tier = f" [{self.tier}]" if self.tier != "detailed" else ""
+        return f"{self.workload}/{self.config_name}{suffix}{tier}"
 
 
 class SimSpec(NamedTuple):
@@ -70,20 +81,30 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 
 
 def _simulate_cell(spec: CellSpec) -> dict[str, Any]:
-    from ..config import build_named_config
+    from ..config import SamplingConfig, build_named_config
     from ..core import simulate
 
     config = build_named_config(spec.config_name)
     if spec.chain_stats:
         config.runahead.collect_chain_stats = True
+    sampling = None
+    if spec.tier != "detailed":
+        sampling = SamplingConfig(
+            tier=spec.tier, ramp_instructions=spec.ramp,
+            window_instructions=spec.window, stride_instructions=spec.stride)
     result = simulate(
         spec.workload,
         config,
         max_instructions=spec.instructions,
         warmup_instructions=spec.warmup,
         config_name=spec.config_name,
+        sampling=sampling,
     )
-    return result.stats.to_dict()
+    stats = result.stats.to_dict()
+    if result.sampling is not None:
+        from .experiments import _cacheable_sampling
+        stats["sampling"] = _cacheable_sampling(result.sampling)
+    return stats
 
 
 def _simulate_spec(spec: SimSpec) -> dict[str, Any]:

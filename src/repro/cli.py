@@ -41,7 +41,8 @@ from .analysis import ExperimentMatrix, figures, render, write_report
 from .analysis import bench as bench_mod
 from .analysis.parallel import SimSpec, print_progress, simulate_configs
 from .analysis.sweeps import CANNED_SWEEPS, run_named_sweep
-from .config import CONFIG_BUILDERS, build_named_config
+from .config import (CONFIG_BUILDERS, SAMPLING_TIERS, SamplingConfig,
+                     build_named_config)
 from .core import simulate
 from .obs import EVENT_KINDS
 from .workloads import intensity_of, workload_names
@@ -78,6 +79,40 @@ def _positive_int(text: str) -> int:
     return value
 
 
+_PLAN_DEFAULTS = SamplingConfig()
+
+
+def _add_tier_args(sub, tiers: Sequence[str] = SAMPLING_TIERS) -> None:
+    sub.add_argument("--tier", choices=tuple(tiers), default="detailed",
+                     help="execution tier: 'detailed' simulates every "
+                          "instruction; 'two-level' samples detailed "
+                          "windows over a functional fast-forward stream")
+    sub.add_argument("--window", type=_positive_int,
+                     default=_PLAN_DEFAULTS.window_instructions,
+                     metavar="INSTS",
+                     help="measured detailed window per stride (two-level)")
+    sub.add_argument("--stride", type=_positive_int,
+                     default=_PLAN_DEFAULTS.stride_instructions,
+                     metavar="INSTS",
+                     help="sampling stride: instructions per "
+                          "ramp+window+fast-forward segment (two-level)")
+    sub.add_argument("--ramp", type=int,
+                     default=_PLAN_DEFAULTS.ramp_instructions,
+                     metavar="INSTS",
+                     help="detailed ramp-up before each measured window, "
+                          "excluded from rate estimates (two-level)")
+
+
+def _sampling_from_args(args) -> Optional[SamplingConfig]:
+    if args.tier == "detailed":
+        return None
+    plan = SamplingConfig(tier=args.tier, ramp_instructions=args.ramp,
+                          window_instructions=args.window,
+                          stride_instructions=args.stride)
+    plan.validate()
+    return plan
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -93,6 +128,7 @@ def _build_parser() -> argparse.ArgumentParser:
                      choices=sorted(CONFIG_BUILDERS))
     run.add_argument("--instructions", type=int, default=10_000)
     run.add_argument("--warmup", type=int, default=12_000)
+    _add_tier_args(run)
 
     compare = sub.add_parser("compare",
                              help="run several configs on one workload")
@@ -124,6 +160,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        default=bench_mod.DEFAULT_INSTRUCTIONS)
     bench.add_argument("--warmup", type=int, default=bench_mod.DEFAULT_WARMUP)
     bench.add_argument("--reps", type=int, default=bench_mod.DEFAULT_REPS)
+    _add_tier_args(bench, tiers=(*SAMPLING_TIERS, "both"))
     bench.add_argument("--output", default="BENCH_sim_throughput.json")
     bench.add_argument("--before", default=None, metavar="JSON",
                        help="embed a prior run as the 'before' section")
@@ -225,12 +262,29 @@ def _print_stats(stats, energy) -> None:
 
 
 def _cmd_run(args) -> int:
+    sampling = _sampling_from_args(args)
     result = simulate(args.workload, build_named_config(args.config),
                       max_instructions=args.instructions,
                       warmup_instructions=args.warmup,
-                      config_name=args.config)
-    print(f"{args.workload} / {args.config}:")
+                      config_name=args.config,
+                      sampling=sampling)
+    tier = f" [{sampling.tier}]" if sampling is not None else ""
+    print(f"{args.workload} / {args.config}{tier}:")
     _print_stats(result.stats, result.energy)
+    if result.sampling is not None:
+        meta = result.sampling
+        est = meta["estimates"]
+        print(f"  sampling            {meta['windows']} windows of "
+              f"{meta['window_instructions']} "
+              f"(+{meta['ramp_instructions']} ramp) "
+              f"every {meta['stride_instructions']} insts")
+        print(f"  detailed share      "
+              f"{100 * meta['detailed_fraction']:.1f}% "
+              f"({meta['detailed_instructions']} of "
+              f"{meta['instructions_advanced']} insts)")
+        print(f"  sampled estimates   ipc={est['ipc']:.4f} "
+              f"mpki={est['mpki']:.2f} "
+              f"runahead-share={100 * est['runahead_share']:.1f}%")
     return 0
 
 
@@ -296,15 +350,28 @@ def _cmd_bench_throughput(args) -> int:
             top=args.profile)
         print(report)
         return 0
+    tiers = (("detailed", "two-level") if args.tier == "both"
+             else (args.tier,))
+    plan = SamplingConfig(tier="two-level", ramp_instructions=args.ramp,
+                          window_instructions=args.window,
+                          stride_instructions=args.stride)
+    if "two-level" in tiers:
+        plan.validate()
     doc = bench_mod.run_benchmark(
         workloads=args.workloads, modes=args.modes,
         instructions=args.instructions, warmup=args.warmup, reps=args.reps,
+        tiers=tiers, plan=plan,
         progress=print)
     if args.before:
         doc = bench_mod.attach_before(doc, bench_mod.load_results(args.before))
     path = bench_mod.write_results(doc, args.output)
     print(f"\ngeomean KIPS: " + "  ".join(
         f"{mode}={kips:.1f}" for mode, kips in doc["geomean_kips"].items()))
+    if "two_level_speedup" in doc:
+        speedup = doc["two_level_speedup"]
+        print("two-level speedup: " + "  ".join(
+            f"{mode}={x:.1f}x" for mode, x in speedup["geomean"].items())
+            + f"  overall={speedup['overall']:.1f}x")
     print(f"written to {path}")
     if args.check:
         failures = bench_mod.check_regression(

@@ -222,6 +222,60 @@ class SystemConfig:
             raise ValueError("chain length cap cannot exceed buffer capacity")
 
 
+SAMPLING_TIERS = ("detailed", "two-level")
+
+
+@dataclass
+class SamplingConfig:
+    """Two-tier execution plan (docs/simulator.md, "Two-tier simulation").
+
+    ``tier="detailed"`` runs the cycle model for the whole instruction
+    budget — the exact, golden-grid-pinned mode every paper figure uses.
+    ``tier="two-level"`` runs the cycle model only inside fixed-stride
+    detailed bursts: each ``stride_instructions``-long segment starts
+    with ``ramp_instructions`` of detailed ramp-up (pipeline refill and
+    prefetcher/runahead re-training, excluded from the rate estimates)
+    followed by a ``window_instructions`` measured window, and the
+    remainder is fast-forwarded through the functional interpreter
+    (which still warms caches and the branch predictor).  Stats then
+    describe the detailed bursts only, trading exactness for a large
+    simulation-rate win; ``repro.fastpath.validate`` states the
+    calibrated error bounds of the defaults.
+    """
+
+    tier: str = "detailed"
+    ramp_instructions: int = 500
+    window_instructions: int = 1_500
+    stride_instructions: int = 40_000
+
+    @property
+    def is_sampled(self) -> bool:
+        return self.tier == "two-level"
+
+    @property
+    def detailed_share(self) -> float:
+        """Fraction of instructions the detailed core executes."""
+        if not self.is_sampled:
+            return 1.0
+        return ((self.ramp_instructions + self.window_instructions)
+                / self.stride_instructions)
+
+    def validate(self) -> None:
+        if self.tier not in SAMPLING_TIERS:
+            raise ValueError(
+                f"unknown tier {self.tier!r}; choose from {SAMPLING_TIERS}")
+        if self.is_sampled:
+            if self.window_instructions < 1:
+                raise ValueError("window_instructions must be >= 1")
+            if self.ramp_instructions < 0:
+                raise ValueError("ramp_instructions must be >= 0")
+            detailed = self.ramp_instructions + self.window_instructions
+            if self.stride_instructions <= detailed:
+                raise ValueError(
+                    "stride_instructions must exceed ramp + window "
+                    "(the stride includes the detailed burst)")
+
+
 def default_system() -> SystemConfig:
     """The Table 1 configuration: no prefetching, no runahead."""
     return SystemConfig()

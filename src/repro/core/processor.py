@@ -221,36 +221,98 @@ class Processor:
         self._step = stepped
 
     # ------------------------------------------------------------------
-    # Warm-up
+    # Warm-up / functional fast-forward (the two-tier engine's fast tier)
     # ------------------------------------------------------------------
 
-    def warm_up(self, instructions: int) -> None:
-        """Fast-forward functionally: execute ``instructions`` with the
-        reference interpreter, warming caches and the branch predictor,
-        then start timing simulation from the resulting state."""
-        regs = self.rename.arch_values()
-        interp = Interpreter(self.program, self.memory, regs=regs)
+    def sync_architectural(self) -> int:
+        """Collapse all speculative state down to the architectural point
+        and return its PC.
+
+        Exits any runahead interval (restoring the checkpoint), squashes
+        the in-flight window, rebuilds rename from the committed register
+        values, and steers fetch to the oldest uncommitted instruction.
+        Uncommitted stores live only in the store queue, so discarding the
+        window leaves memory holding exactly the committed stores — the
+        state a functional replay from the returned PC must start from.
+        """
+        if self.mode != "normal":
+            # run() has already closed the policy interval if it returned
+            # mid-runahead; _exit_runahead's second end_interval no-ops.
+            self._exit_runahead(self.now)
+        if self.rob:
+            # Oldest uncommitted instruction.  An in-flight mispredict
+            # would be resolved only behind it, so rob[0].pc is on the
+            # committed path by construction.
+            arch_pc = self.rob[0].pc
+        elif self.decode_queue:
+            # ROB empty => every branch older than the decode queue has
+            # resolved and redirected, so decoded uops are correct-path.
+            arch_pc = self.decode_queue[0][1].pc
+        else:
+            arch_pc = self.fetch.pc
+        values = self.rename.arch_values()
+        self._flush_pipeline()
+        self.rename.reset_to_values(values)
+        self.fetch.redirect(arch_pc, self.now)
+        return arch_pc
+
+    def fast_forward(self, instructions: int) -> int:
+        """Advance ``instructions`` functionally from the architectural
+        point, warming caches and the branch predictor, then restart the
+        detailed model from the resulting state.  Returns the number of
+        instructions actually executed (stops at HALT).
+
+        This is the fast tier of two-tier simulation (and the whole of
+        pre-run warm-up): the reference interpreter replays the committed
+        path in batch (:meth:`Interpreter.run_warm`), feeding every
+        instruction fetch, memory access, and branch outcome to the
+        timing-free warm paths of the hierarchy and predictor.
+        """
+        if self.halted or instructions <= 0:
+            return 0
+        self.sync_architectural()
+        interp = Interpreter(self.program, self.memory,
+                             regs=self.rename.arch_values())
         interp.pc = self.fetch.pc
         hierarchy = self.hierarchy
         predictor = self.predictor
         prev_taken: dict[int, bool] = {}
-        for op in interp.run(instructions):
-            hierarchy.warm_ifetch(op.pc * INST_BYTES)
-            if op.mem_addr is not None:
-                hierarchy.warm_load(op.mem_addr)
-            inst = op.inst
+        warm_ifetch = hierarchy.warm_ifetch
+        # Straight-line runs re-warm the same I-line 16x over; skip the
+        # call when the line is the L1I's MRU entry with a warm (<= 0)
+        # ready cycle.  Bit-identical: MRU-resident implies LLC-resident
+        # (inclusive LLC back-invalidates the L1s and clears the MRU key),
+        # so the skipped call would only re-merge an already-warm fill.
+        l1i = hierarchy.l1i
+        pc_line_shift = (hierarchy.l1i.line_bytes.bit_length() - 1
+                         - (INST_BYTES.bit_length() - 1))
+
+        def on_ifetch(pc: int) -> None:
+            line = pc >> pc_line_shift
+            if line == l1i._mru_key and l1i._mru_line.ready_cycle <= 0:
+                return
+            warm_ifetch(pc * INST_BYTES)
+
+        def on_branch(pc: int, inst, taken: bool, next_pc: int) -> None:
             if inst.is_conditional_branch:
-                assert op.taken is not None
-                mispred = prev_taken.get(op.pc, False) != op.taken
-                predictor.update(op.pc, inst, op.taken, op.next_pc, mispred)
-                prev_taken[op.pc] = op.taken
+                mispred = prev_taken.get(pc, False) != taken
+                predictor.update(pc, inst, taken, next_pc, mispred)
+                prev_taken[pc] = taken
             elif inst.is_branch:
-                predictor.update(op.pc, inst, True, op.next_pc, False)
-            if interp.halted:
-                break
+                predictor.update(pc, inst, True, next_pc, False)
+
+        executed = interp.run_warm(instructions, on_ifetch=on_ifetch,
+                                   on_mem=hierarchy.warm_load,
+                                   on_branch=on_branch)
         self.rename.reset_to_values(interp.regs)
-        self.fetch.redirect(interp.pc, 0)
+        self.fetch.redirect(interp.pc, self.now)
         self.halted = interp.halted
+        return executed
+
+    def warm_up(self, instructions: int) -> int:
+        """Fast-forward functionally before (or between) timed runs —
+        kept as the historical name for the pre-run warm-up phase."""
+        return self.fast_forward(instructions)
 
     # ------------------------------------------------------------------
     # Main loop

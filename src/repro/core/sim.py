@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional, Union
 
-from ..config import SystemConfig, default_system
+from ..config import SamplingConfig, SystemConfig, default_system
 from ..energy import EnergyModel, EnergyReport
 from ..isa import Program
 from .processor import Processor
@@ -22,11 +22,18 @@ from .stats import SimStats
 
 @dataclass
 class SimulationResult:
-    """Everything one run produces."""
+    """Everything one run produces.
+
+    ``sampling`` is ``None`` for fully detailed runs; two-level runs
+    carry the engine's metadata dict (instruction/timing split per tier,
+    estimated whole-run cycles) there, keeping ``stats`` bit-compatible
+    across tiers.
+    """
 
     stats: SimStats
     energy: EnergyReport
     processor: Processor
+    sampling: Optional[dict] = None
 
     @property
     def ipc(self) -> float:
@@ -54,6 +61,7 @@ def simulate(
     max_cycles: Optional[int] = None,
     config_name: str = "",
     attach: Optional[Callable[[Processor], None]] = None,
+    sampling: Optional[SamplingConfig] = None,
 ) -> SimulationResult:
     """Run one workload on one configuration and return stats + energy.
 
@@ -61,6 +69,13 @@ def simulate(
     timed run — the seam observers use (e.g.
     :meth:`repro.obs.Tracer.attach`) so functional warm-up traffic never
     pollutes a trace.
+
+    ``sampling`` selects the execution tier.  ``None`` or
+    ``tier="detailed"`` runs every instruction through the detailed
+    core — bit-identical to the pre-sampling simulator.  ``"two-level"``
+    alternates detailed windows with functional fast-forward
+    (see :mod:`repro.fastpath`); ``result.stats`` then describes the
+    detailed windows only and ``result.sampling`` holds the split.
     """
     if config is None:
         config = default_system()
@@ -70,9 +85,17 @@ def simulate(
         processor.warm_up(warmup_instructions)
     if attach is not None:
         attach(processor)
-    stats = processor.run(max_instructions, max_cycles=max_cycles)
+    if sampling is not None and sampling.is_sampled:
+        from ..fastpath import run_two_tier
+        meta = run_two_tier(processor, sampling, max_instructions,
+                            max_cycles=max_cycles)
+        stats = processor.stats
+    else:
+        meta = None
+        stats = processor.run(max_instructions, max_cycles=max_cycles)
     stats.config_name = config_name or stats.config_name
     model = EnergyModel(config.energy, config.core.clock_ghz)
     energy = model.compute(stats.energy_events, stats.cycles)
     stats.energy_report = energy.to_dict()
-    return SimulationResult(stats=stats, energy=energy, processor=processor)
+    return SimulationResult(stats=stats, energy=energy, processor=processor,
+                            sampling=meta)

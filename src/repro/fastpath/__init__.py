@@ -1,0 +1,17 @@
+"""Two-tier simulation: functional fast-forward + sampled detailed windows.
+
+``engine`` drives the alternation (detailed window -> architectural
+handoff -> batched functional gap); ``validate`` states and checks the
+sampled tier's accuracy contract.  See docs/simulator.md, "Two-tier
+simulation".
+"""
+
+from .engine import run_two_tier
+from .validate import SAMPLING_TOLERANCES, check_sampling_error, runahead_share
+
+__all__ = [
+    "SAMPLING_TOLERANCES",
+    "check_sampling_error",
+    "run_two_tier",
+    "runahead_share",
+]

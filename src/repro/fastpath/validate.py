@@ -1,0 +1,89 @@
+"""Error bounds for the sampled (two-level) tier.
+
+Sampling is only useful under a stated accuracy contract.  The contract
+lives here, in one place shared by the test suite, docs and any future
+CI gate: a two-level run at the default plan must reproduce the full
+detailed run's headline metrics within these tolerances:
+
+* ``ipc_rel`` — relative IPC error;
+* ``mpki_abs`` — absolute LLC-MPKI error (absolute, because MPKI spans
+  zero for cache-resident workloads where a relative bound is vacuous);
+* ``runahead_share_abs`` — absolute error in the fraction of cycles
+  spent in any runahead mode (traditional + buffer).
+
+The bounds were calibrated over the four default bench workloads x
+{baseline, rab, rab_cc} at 200k and 300k instruction budgets, default
+plan (ramp 500 / window 1500 / stride 40000, a 5% detailed share):
+worst observed errors were IPC 8.3% relative, MPKI 4.2 absolute,
+runahead share 0.087 absolute.  Each gate is asserted to bite by
+tests/test_fastpath.py.  EXPERIMENTS.md states which figures may rely
+on sampling under this contract (sim-throughput sweeps) and which must
+stay fully detailed (all committed paper figures).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+#: Documented accuracy contract of tier="two-level" at the default plan.
+SAMPLING_TOLERANCES: dict[str, float] = {
+    "ipc_rel": 0.12,
+    "mpki_abs": 6.0,
+    "runahead_share_abs": 0.10,
+}
+
+
+def runahead_share(stats: Mapping[str, Any]) -> float:
+    """Fraction of cycles spent in any runahead mode (traditional or
+    buffer — ``runahead_cycle_fraction`` already combines both).
+
+    Accepts either a ``SimStats.to_dict()`` payload or a two-tier
+    ``estimates`` dict (pre-combined share).
+    """
+    if "runahead_share" in stats:
+        return stats["runahead_share"]
+    return stats.get("runahead_cycle_fraction", 0.0)
+
+
+def check_sampling_error(
+    detailed: Mapping[str, Any],
+    sampled: Mapping[str, Any],
+    tolerances: Optional[Mapping[str, float]] = None,
+) -> list[str]:
+    """Compare a sampled run against the detailed reference.
+
+    ``detailed`` is a ``SimStats.to_dict()`` payload; ``sampled`` is the
+    two-tier engine's ``estimates`` dict (or another stats payload).
+    Returns human-readable failures (empty when every metric is within
+    tolerance).
+    """
+    tol = dict(SAMPLING_TOLERANCES)
+    if tolerances:
+        tol.update(tolerances)
+    failures = []
+
+    ref_ipc = detailed["ipc"]
+    got_ipc = sampled["ipc"]
+    if ref_ipc > 0:
+        err = abs(got_ipc - ref_ipc) / ref_ipc
+        if err > tol["ipc_rel"]:
+            failures.append(
+                f"ipc: sampled {got_ipc:.4f} vs detailed {ref_ipc:.4f} "
+                f"({100 * err:.1f}% > {100 * tol['ipc_rel']:.0f}%)")
+
+    err = abs(sampled["mpki"] - detailed["mpki"])
+    if err > tol["mpki_abs"]:
+        failures.append(
+            f"mpki: sampled {sampled['mpki']:.2f} vs detailed "
+            f"{detailed['mpki']:.2f} (|delta| {err:.2f} > "
+            f"{tol['mpki_abs']:.2f})")
+
+    ref_share = runahead_share(detailed)
+    got_share = runahead_share(sampled)
+    err = abs(got_share - ref_share)
+    if err > tol["runahead_share_abs"]:
+        failures.append(
+            f"runahead share: sampled {got_share:.3f} vs detailed "
+            f"{ref_share:.3f} (|delta| {err:.3f} > "
+            f"{tol['runahead_share_abs']:.3f})")
+    return failures

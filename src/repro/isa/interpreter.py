@@ -8,7 +8,7 @@ caches and branch predictors without cycle-level timing).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 from .program import Program
 from .registers import NUM_ARCH_REGS
@@ -119,3 +119,83 @@ class Interpreter:
             if self.halted:
                 return
             yield self.step()
+
+    def run_warm(
+        self,
+        max_instructions: int,
+        on_ifetch: Optional[Callable[[int], None]] = None,
+        on_mem: Optional[Callable[[int], None]] = None,
+        on_branch: Optional[Callable[[int, Instruction, bool, int], None]] = None,
+    ) -> int:
+        """Batched execution with memory-system callbacks; returns the
+        number of instructions executed (stops at HALT).
+
+        This is the fast-forward tier of two-tier simulation: the same
+        architectural semantics as :meth:`step`, inlined into one loop
+        with no :class:`RetiredOp` allocation, reporting side effects
+        through callbacks instead — ``on_ifetch(pc)`` once per
+        instruction (the HALT included), ``on_mem(addr)`` for every load
+        and store, ``on_branch(pc, inst, taken, next_pc)`` for every
+        control-flow op.  Per-op callback order (ifetch, then mem/branch)
+        matches the order ``Processor.warm_up`` historically applied its
+        cache/predictor warming in, so warming through this path is
+        bit-identical to warming through :meth:`run`.  Kept honest
+        against :meth:`step` by tests/test_warmup_parity.py.
+        """
+        if self.halted:
+            return 0
+        regs = self.regs
+        memory = self.memory
+        # Inlined Program.fetch: flat table hit for in-range PCs, NOP
+        # decode for wrong-path out-of-range PCs (same semantics).
+        insts = self.program.instructions
+        num_insts = len(insts)
+        nop = self.program._nop
+        pc = self.pc
+        executed = 0
+        while executed < max_instructions:
+            inst = insts[pc] if 0 <= pc < num_insts else nop
+            if on_ifetch is not None:
+                on_ifetch(pc)
+            a = regs[inst.src1] if inst.src1 is not None else 0
+            b = regs[inst.src2] if inst.src2 is not None else 0
+            next_pc = pc + 1
+
+            cls = inst.cls_idx
+            if cls == CLS_LOAD:
+                addr = (a + inst.imm) & MASK64
+                value = memory.load(addr)
+                if inst.dest_reg is not None:
+                    regs[inst.dest_reg] = value
+                if on_mem is not None:
+                    on_mem(addr)
+            elif cls == CLS_STORE:
+                addr = (a + inst.imm) & MASK64
+                memory.store(addr, b)
+                if on_mem is not None:
+                    on_mem(addr)
+            elif cls == CLS_BRANCH:
+                if inst.is_conditional_branch:
+                    taken = inst.taken_fn(inst, a, b)
+                else:
+                    taken = True
+                if inst.is_call and inst.dest_reg is not None:
+                    regs[inst.dest_reg] = (pc + 1) & MASK64
+                next_pc = branch_target(inst, pc, a, taken)
+                if on_branch is not None:
+                    on_branch(pc, inst, taken, next_pc)
+            elif inst.opcode is Opcode.HALT:
+                executed += 1
+                pc = next_pc
+                self.halted = True
+                break
+            elif inst.opcode is not Opcode.NOP:
+                value = inst.alu_fn(inst, a, b)
+                if inst.dest_reg is not None:
+                    regs[inst.dest_reg] = value
+
+            pc = next_pc
+            executed += 1
+        self.pc = pc
+        self.retired += executed
+        return executed

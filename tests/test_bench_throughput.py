@@ -2,12 +2,16 @@
 
 The numbers themselves are host-dependent; these tests pin the parts
 that must not drift: the geomean, the result-document schema, the
-before/after speedup math, and the CI regression gate.
+before/after speedup math, the CI regression gate, and — via a scripted
+clock — the tier timing accounting (warm-up seconds never enter any
+KIPS figure; fast-forward seconds never enter the detailed-tier KIPS).
 """
 
 import pytest
 
+import repro.fastpath
 from repro.analysis import bench
+from repro.config import SamplingConfig
 
 
 class TestGeomean:
@@ -66,6 +70,120 @@ class TestCheckRegression:
         # from the current run (a shrunk grid) must not fail the gate.
         current = {"geomean_kips": {"overall": 1.0}}
         assert bench.check_regression(current, self.BASELINE) == []
+
+
+class _FakeStats:
+    committed_insts = 5_000
+    cycles = 42_000
+
+
+class _FakeProcessor:
+    """Stands in for Processor so the scripted clock is the only input."""
+
+    def __init__(self, *args, **kwargs):
+        self.stats = _FakeStats()
+        self.halted = False
+
+    def warm_up(self, n):
+        return n
+
+    def run(self, n, max_cycles=None):
+        return self.stats
+
+
+class TestTierTimingAccounting:
+    """Pin the accounting rules with a scripted ``perf_counter``."""
+
+    def _patch_common(self, monkeypatch, clock_values):
+        ticks = iter(clock_values)
+        monkeypatch.setattr(bench.time, "perf_counter", lambda: next(ticks))
+        monkeypatch.setattr(bench, "build_workload",
+                            lambda name: type("W", (), {
+                                "program": None, "memory": None,
+                                "init_regs": None})())
+        monkeypatch.setattr(bench, "build_named_config", lambda name: None)
+        monkeypatch.setattr(bench, "Processor", _FakeProcessor)
+
+    def test_detailed_cell_excludes_warmup_from_kips(self, monkeypatch):
+        # warm-up spans [0, 3); the detailed run spans [3, 7).
+        self._patch_common(monkeypatch, [0.0, 3.0, 7.0])
+        cell = bench._time_cell("mcf", "baseline", 5_000, 12_000)
+        assert cell["tier"] == "detailed"
+        assert cell["warmup_seconds"] == pytest.approx(3.0)
+        assert cell["sim_seconds"] == pytest.approx(4.0)
+        # KIPS uses the 4s of detailed time only — 3s of warm-up excluded.
+        assert cell["kips"] == pytest.approx(5_000 / 4.0 / 1000.0)
+
+    def test_two_level_cell_accounting(self, monkeypatch):
+        # bench reads the clock only around warm-up; tier timing comes
+        # from the engine metadata.
+        self._patch_common(monkeypatch, [0.0, 3.0])
+        meta = {
+            "detailed_seconds": 2.0,
+            "fast_forward_seconds": 0.5,
+            "instructions_advanced": 100_000,
+        }
+        monkeypatch.setattr(repro.fastpath, "run_two_tier",
+                            lambda *a, **k: meta)
+        plan = SamplingConfig(tier="two-level")
+        cell = bench._time_cell("mcf", "rab_cc", 100_000, 12_000, plan=plan)
+        assert cell["tier"] == "two-level"
+        # Warm-up reported separately, folded into no KIPS figure.
+        assert cell["warmup_seconds"] == pytest.approx(3.0)
+        # Headline KIPS: whole advance over detailed + fast-forward time.
+        assert cell["sim_seconds"] == pytest.approx(2.5)
+        assert cell["ff_seconds"] == pytest.approx(0.5)
+        assert cell["kips"] == pytest.approx(100_000 / 2.5 / 1000.0)
+        # Detailed-tier KIPS: detailed instructions over detailed seconds
+        # alone — fast-forward time must never be folded in.
+        assert cell["kips_detailed"] == pytest.approx(
+            5_000 / 2.0 / 1000.0)
+
+
+def test_run_benchmark_two_tier_document():
+    plan = SamplingConfig(tier="two-level", ramp_instructions=200,
+                          window_instructions=400, stride_instructions=2_000)
+    doc = bench.run_benchmark(workloads=("mcf",), modes=("normal",),
+                              instructions=1_000, warmup=500, reps=1,
+                              tiers=("detailed", "two-level"), plan=plan)
+    assert doc["tiers"] == ["detailed", "two-level"]
+    assert doc["sampling_plan"] == {
+        "ramp_instructions": 200,
+        "window_instructions": 400,
+        "stride_instructions": 2_000,
+    }
+    det, two = doc["results"]
+    assert det["tier"] == "detailed"
+    assert two["tier"] == "two-level"
+    # The two-level budget is scaled so several strides fit.
+    assert two["instructions"] == 1_000 * bench.TWO_LEVEL_SCALE
+    assert two["advanced"] >= two["committed"] > 0
+    assert set(doc["geomean_kips"]) == {"normal", "normal/two-level",
+                                        "overall"}
+    speedup = doc["two_level_speedup"]
+    assert speedup["per_cell"]["mcf/normal"] == pytest.approx(
+        two["kips"] / det["kips"], rel=0.01)
+    assert set(speedup["geomean"]) == {"normal"}
+
+
+def test_committed_record_shows_two_level_speedup():
+    """The committed BENCH_sim_throughput.json must demonstrate the
+    two-tier win: >=5x geomean speedup in at least one mode, and at
+    least three workloads individually at >=5x in that mode."""
+    import pathlib
+    record = bench.load_results(
+        pathlib.Path(__file__).resolve().parents[1]
+        / "BENCH_sim_throughput.json")
+    assert record["schema"] == bench.SCHEMA
+    assert "two-level" in record["tiers"]
+    speedup = record["two_level_speedup"]
+    fast_modes = [mode for mode, x in speedup["geomean"].items() if x >= 5.0]
+    assert fast_modes, f"no mode reaches 5x geomean: {speedup['geomean']}"
+    best = max(fast_modes, key=lambda m: speedup["geomean"][m])
+    per_workload = [x for cell, x in speedup["per_cell"].items()
+                    if cell.endswith(f"/{best}")]
+    assert sum(1 for x in per_workload if x >= 5.0) >= 3, (
+        f"fewer than 3 workloads at >=5x in mode {best}: {per_workload}")
 
 
 def test_run_benchmark_schema_and_roundtrip(tmp_path):

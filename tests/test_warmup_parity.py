@@ -1,0 +1,181 @@
+"""Warm-up/oracle parity: the fast-forward tier's foundation.
+
+``Processor.warm_up`` (and ``Processor.fast_forward``, which it wraps)
+must agree with the ``repro.isa.interpreter`` oracle bit for bit on
+architectural state — final registers, memory image, PC, halt flag — and
+``Interpreter.run_warm`` (the batched loop the warm path executes) must
+report the exact same retirement stream as the step-by-step oracle,
+because the two-tier engine substitutes one for the other between
+sampled detailed windows.
+
+``test_*_over_fuzz_corpus`` run the differential over the
+``repro.verify`` fuzz corpus (>= 100 seeds).  The two regression tests
+at the bottom were written against the pre-fix ``warm_up`` and fail
+without the fixes in ``repro.core.processor``:
+
+* halt boundary — warm_up on an already-halted processor built a fresh
+  (non-halted) interpreter at ``fetch.pc`` and executed the code placed
+  *after* the HALT (the fuzz corpus parks CALL subroutines there),
+  corrupting registers and memory and un-halting the core;
+* speculative handoff — warm_up mid-run started the interpreter at the
+  speculative ``fetch.pc`` with only committed register state, skipping
+  every in-flight instruction (their stores and register writes were
+  lost) and inheriting a possibly wrong-path PC.  The fix collapses to
+  the architectural point (``sync_architectural``) and replays from
+  there functionally.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import build_named_config
+from repro.core.processor import Processor
+from repro.isa import Interpreter
+from repro.verify.fuzz import build_fuzz_program
+
+# Acceptance floor: the differential must cover >= 100 fuzz seeds.
+PARITY_SEEDS = 120
+PARITY_BUDGET = 1_500
+PARITY_TARGET_INSTS = 1_200
+
+
+def _oracle(fuzz, budget: int):
+    """Step-by-step reference run; returns (interp, retired ops)."""
+    interp = Interpreter(fuzz.program, fuzz.memory())
+    ops = list(interp.run(budget))
+    return interp, ops
+
+
+def _run_warm(fuzz, budget: int):
+    """Batched run recording every callback; returns (interp, executed,
+    ifetch stream, memory stream, branch stream)."""
+    interp = Interpreter(fuzz.program, fuzz.memory())
+    pcs: list[int] = []
+    mems: list[int] = []
+    branches: list[tuple[int, bool, int]] = []
+    executed = interp.run_warm(
+        budget,
+        on_ifetch=pcs.append,
+        on_mem=mems.append,
+        on_branch=lambda pc, inst, taken, nxt: branches.append(
+            (pc, taken, nxt)),
+    )
+    return interp, executed, pcs, mems, branches
+
+
+def test_run_warm_matches_step_over_fuzz_corpus():
+    """The batched loop re-implements step(); the streams keep it honest."""
+    failures = []
+    for seed in range(PARITY_SEEDS):
+        fuzz = build_fuzz_program(seed, target_insts=PARITY_TARGET_INSTS)
+        oracle, ops = _oracle(fuzz, PARITY_BUDGET)
+        warm, executed, pcs, mems, branches = _run_warm(fuzz, PARITY_BUDGET)
+        for what, got, want in (
+            ("executed", executed, len(ops)),
+            ("retirement stream", pcs, [op.pc for op in ops]),
+            ("memory stream", mems,
+             [op.mem_addr for op in ops if op.mem_addr is not None]),
+            ("branch stream", branches,
+             [(op.pc, op.taken, op.next_pc) for op in ops
+              if op.inst.is_branch]),
+            ("regs", warm.regs, oracle.regs),
+            ("pc", warm.pc, oracle.pc),
+            ("halted", warm.halted, oracle.halted),
+            ("retired", warm.retired, oracle.retired),
+            ("memory", warm.memory.snapshot(), oracle.memory.snapshot()),
+        ):
+            if got != want:
+                failures.append(f"seed {seed}: {what} diverged")
+                break
+    assert not failures, (
+        f"{len(failures)}/{PARITY_SEEDS} seeds diverged:\n  "
+        + "\n  ".join(failures[:10])
+    )
+
+
+def test_warmup_matches_oracle_over_fuzz_corpus():
+    """warm_up on a fresh processor lands on the oracle's state exactly."""
+    failures = []
+    for seed in range(PARITY_SEEDS):
+        fuzz = build_fuzz_program(seed, target_insts=PARITY_TARGET_INSTS)
+        interp, ops = _oracle(fuzz, PARITY_BUDGET)
+        proc = Processor(fuzz.program, build_named_config("baseline"),
+                         memory=fuzz.memory())
+        executed = proc.warm_up(PARITY_BUDGET)
+        for what, got, want in (
+            ("executed", executed, len(ops)),
+            ("regs", proc.rename.arch_values(), interp.regs),
+            ("pc", proc.fetch.pc, interp.pc),
+            ("halted", proc.halted, interp.halted),
+            ("memory", proc.memory.snapshot(), interp.memory.snapshot()),
+        ):
+            if got != want:
+                failures.append(f"seed {seed}: {what} diverged")
+                break
+    assert not failures, (
+        f"{len(failures)}/{PARITY_SEEDS} seeds diverged:\n  "
+        + "\n  ".join(failures[:10])
+    )
+
+
+def test_warmup_executed_count_stops_at_halt():
+    # A budget far past the program's end: parity requires stopping at
+    # HALT with the oracle's retired count, not the budget.
+    fuzz = build_fuzz_program(11, target_insts=600)
+    interp, ops = _oracle(fuzz, 10 ** 6)
+    assert interp.halted, "fuzz programs must terminate"
+    proc = Processor(fuzz.program, build_named_config("baseline"),
+                     memory=fuzz.memory())
+    assert proc.warm_up(10 ** 6) == len(ops)
+    assert proc.halted
+
+
+# ---------------------------------------------------------------------------
+# Pre-fix-failing regressions.
+# ---------------------------------------------------------------------------
+
+def test_warmup_after_halt_is_inert():
+    """Regression (halt boundary): warming a halted processor must be a
+    no-op — the pre-fix warm_up fell off the HALT into the subroutine
+    region and re-executed code."""
+    fuzz = build_fuzz_program(3, target_insts=800)
+    assert fuzz.spec.subroutines, "seed must park code after the HALT"
+    proc = Processor(fuzz.program, build_named_config("baseline"),
+                     memory=fuzz.memory())
+    proc.warm_up(10 ** 6)
+    assert proc.halted
+    regs = proc.rename.arch_values()
+    pc = proc.fetch.pc
+    mem = proc.memory.snapshot()
+
+    assert proc.warm_up(500) == 0
+    assert proc.halted, "warm_up un-halted a finished program"
+    assert proc.fetch.pc == pc
+    assert proc.rename.arch_values() == regs
+    assert proc.memory.snapshot() == mem
+
+
+@pytest.mark.parametrize("config_name", ["baseline", "rab_cc"])
+def test_warmup_mid_run_replays_from_architectural_point(config_name):
+    """Regression (speculative handoff / store ordering): warm_up after a
+    partial detailed run must land on the same state as the oracle
+    executing committed + fast-forwarded instructions from scratch.  The
+    pre-fix warm_up jumped to the speculative fetch PC, silently dropping
+    every in-flight instruction (including uncommitted stores)."""
+    fuzz = build_fuzz_program(7, target_insts=4_000)
+    proc = Processor(fuzz.program, build_named_config(config_name),
+                     memory=fuzz.memory())
+    proc.run(600)
+    assert not proc.halted
+    committed = proc.committed
+    executed = proc.warm_up(800)
+    assert executed > 0
+
+    oracle = Interpreter(fuzz.program, fuzz.memory())
+    for _ in oracle.run(committed + executed):
+        pass
+    assert proc.fetch.pc == oracle.pc
+    assert proc.rename.arch_values() == oracle.regs
+    assert proc.memory.snapshot() == oracle.memory.snapshot()
+    assert proc.halted == oracle.halted
