@@ -25,6 +25,17 @@ Tier accounting (pinned by tests/test_bench_throughput.py):
   rate.  Two-level cells run a ``TWO_LEVEL_SCALE``-times larger budget
   so several sampling strides fit; KIPS is a rate, so the
   ``two_level_speedup`` section compares rates across unequal budgets.
+
+Fast-forward lanes (schema 3): every cell records which lane
+(``interp`` or ``jit``) ran the functional tier; two-level cells break
+out ``detailed_seconds``/``ff_seconds``/``translate_seconds``
+individually (block-translation host time is part of the jit lane's
+``ff_seconds``, not hidden).  With ``ff_lanes`` spanning both lanes the
+two-level grid is measured once per lane and the document carries a
+``jit_speedup`` section: interp ``ff_seconds`` over jit ``ff_seconds``
+per cell, plus the geomean.  Only primary-lane cells (``ff_lanes[0]``)
+enter ``geomean_kips`` and ``two_level_speedup``, keeping those series
+comparable across schema revisions.
 """
 
 from __future__ import annotations
@@ -39,6 +50,7 @@ from typing import Any, Optional, Sequence
 
 from ..config import SamplingConfig, build_named_config
 from ..core.processor import Processor
+from ..fastpath import FF_LANES, resolve_ff_lane
 from ..workloads import build_workload
 
 # Benchmark mode -> named configuration.  "normal" exercises the plain
@@ -62,19 +74,25 @@ DEFAULT_REPS = 2
 # run spans several sampling strides (KIPS is a rate; see module doc).
 TWO_LEVEL_SCALE = 10
 
-SCHEMA = 2
+SCHEMA = 3
 
 DEFAULT_TIERS = ("detailed",)
+
+# CLI/bench lane selectors: the concrete lanes plus "both", which
+# measures the two-level grid once per lane and adds ``jit_speedup``.
+FF_LANE_CHOICES = (*FF_LANES, "both")
 
 
 def _time_cell(workload: str, config_name: str, instructions: int,
                warmup: int,
-               plan: Optional[SamplingConfig] = None) -> dict[str, Any]:
+               plan: Optional[SamplingConfig] = None,
+               ff_lane: Optional[str] = None) -> dict[str, Any]:
     """One timed simulation: returns KIPS plus raw timing components."""
     built = build_workload(workload)
     config = build_named_config(config_name)
     processor = Processor(built.program, config, memory=built.memory,
                          init_regs=built.init_regs)
+    processor.ff_lane = ff_lane
     t0 = time.perf_counter()
     if warmup > 0:
         processor.warm_up(warmup)
@@ -89,12 +107,15 @@ def _time_cell(workload: str, config_name: str, instructions: int,
         advanced = meta["instructions_advanced"]
         return {
             "tier": plan.tier,
+            "ff_lane": meta.get("ff_lane", resolve_ff_lane(ff_lane)),
             "committed": stats.committed_insts,
             "advanced": advanced,
             "cycles": stats.cycles,
             "warmup_seconds": round(t1 - t0, 6),
             "sim_seconds": round(sim_seconds, 6),
+            "detailed_seconds": round(detailed_seconds, 6),
             "ff_seconds": round(ff_seconds, 6),
+            "translate_seconds": round(meta.get("translate_seconds", 0.0), 6),
             "kips": round(advanced / sim_seconds / 1000.0, 3),
             "kips_detailed": round(
                 stats.committed_insts / detailed_seconds / 1000.0, 3)
@@ -105,6 +126,7 @@ def _time_cell(workload: str, config_name: str, instructions: int,
     sim_seconds = t2 - t1
     return {
         "tier": "detailed",
+        "ff_lane": resolve_ff_lane(ff_lane),
         "committed": stats.committed_insts,
         "cycles": stats.cycles,
         "warmup_seconds": round(t1 - t0, 6),
@@ -115,15 +137,27 @@ def _time_cell(workload: str, config_name: str, instructions: int,
 
 def measure_cell(workload: str, mode: str, instructions: int = DEFAULT_INSTRUCTIONS,
                  warmup: int = DEFAULT_WARMUP, reps: int = DEFAULT_REPS,
-                 plan: Optional[SamplingConfig] = None) -> dict[str, Any]:
+                 plan: Optional[SamplingConfig] = None,
+                 ff_lane: Optional[str] = None) -> dict[str, Any]:
     """Best-of-``reps`` measurement of one (workload, mode, tier) cell."""
     config_name = MODES[mode]
     best: Optional[dict[str, Any]] = None
+    ff_best: Optional[float] = None
     for _ in range(max(1, reps)):
-        sample = _time_cell(workload, config_name, instructions, warmup, plan)
+        sample = _time_cell(workload, config_name, instructions, warmup, plan,
+                            ff_lane=ff_lane)
         if best is None or sample["kips"] > best["kips"]:
             best = sample
+        if "ff_seconds" in sample:
+            ff = sample["ff_seconds"]
+            ff_best = ff if ff_best is None or ff < ff_best else ff_best
     assert best is not None
+    if ff_best is not None:
+        # Min across reps: the noise filter applied per timing component.
+        # The lane-comparison section uses this, not the best-kips rep's
+        # ff_seconds, so one slow scheduler quantum in an otherwise-fast
+        # rep cannot skew the lane ratio.
+        best["ff_seconds_best"] = round(ff_best, 6)
     best.update(workload=workload, mode=mode, config=config_name,
                 instructions=instructions, warmup=warmup)
     return best
@@ -149,6 +183,7 @@ def run_benchmark(workloads: Sequence[str] = DEFAULT_WORKLOADS,
                   reps: int = DEFAULT_REPS,
                   tiers: Sequence[str] = DEFAULT_TIERS,
                   plan: Optional[SamplingConfig] = None,
+                  ff_lanes: Optional[Sequence[str]] = None,
                   progress=None) -> dict[str, Any]:
     """Measure the full grid and assemble the result document.
 
@@ -156,27 +191,43 @@ def run_benchmark(workloads: Sequence[str] = DEFAULT_WORKLOADS,
     measured under; with both tiers present the document also carries a
     ``two_level_speedup`` section (two-level KIPS over detailed KIPS, per
     cell and per-mode geomean).
+
+    ``ff_lanes`` selects the fast-forward lane(s).  ``None`` resolves the
+    session default (``REPRO_FF_LANE`` env, then ``"jit"``).  With more
+    than one lane, two-level cells are measured once per lane and the
+    document gains a ``jit_speedup`` section; ``ff_lanes[0]`` is the
+    primary lane and the only one entering ``geomean_kips`` and
+    ``two_level_speedup``.
     """
     if plan is None:
         plan = SamplingConfig(tier="two-level")
+    if ff_lanes is None:
+        ff_lanes = (resolve_ff_lane(),)
+    primary = ff_lanes[0]
     results = []
     for workload in workloads:
         for mode in modes:
             for tier in tiers:
                 if tier == "detailed":
-                    cell = measure_cell(workload, mode, instructions,
-                                        warmup, reps)
+                    cells = [measure_cell(workload, mode, instructions,
+                                          warmup, reps, ff_lane=primary)]
                 else:
-                    cell = measure_cell(workload, mode,
-                                        instructions * TWO_LEVEL_SCALE,
-                                        warmup, reps, plan=plan)
-                results.append(cell)
-                if progress is not None:
-                    progress(f"{workload:12s} {mode:7s} {tier:10s} "
-                             f"{cell['kips']:8.1f} KIPS")
+                    cells = [measure_cell(workload, mode,
+                                          instructions * TWO_LEVEL_SCALE,
+                                          warmup, reps, plan=plan,
+                                          ff_lane=lane)
+                             for lane in ff_lanes]
+                for cell in cells:
+                    results.append(cell)
+                    if progress is not None:
+                        progress(f"{workload:12s} {mode:7s} {tier:10s} "
+                                 f"{cell.get('ff_lane', ''):6s} "
+                                 f"{cell['kips']:8.1f} KIPS")
+    primary_cells = [c for c in results
+                     if c.get("ff_lane", primary) == primary]
     mode_keys = [_mode_key(mode, tier) for mode in modes for tier in tiers]
     by_mode = {
-        key: round(geomean([c["kips"] for c in results
+        key: round(geomean([c["kips"] for c in primary_cells
                             if _mode_key(c["mode"], c["tier"]) == key]), 3)
         for key in mode_keys
     }
@@ -192,10 +243,11 @@ def run_benchmark(workloads: Sequence[str] = DEFAULT_WORKLOADS,
         "warmup": warmup,
         "reps": reps,
         "tiers": list(tiers),
+        "ff_lanes": list(ff_lanes),
         "results": results,
         "geomean_kips": {
             **by_mode,
-            "overall": round(geomean([c["kips"] for c in results]), 3),
+            "overall": round(geomean([c["kips"] for c in primary_cells]), 3),
         },
     }
     if "two-level" in tiers:
@@ -205,8 +257,41 @@ def run_benchmark(workloads: Sequence[str] = DEFAULT_WORKLOADS,
             "stride_instructions": plan.stride_instructions,
         }
     if "detailed" in tiers and "two-level" in tiers:
-        doc["two_level_speedup"] = _two_level_speedup(results, modes)
+        doc["two_level_speedup"] = _two_level_speedup(primary_cells, modes)
+    if len(set(ff_lanes)) > 1:
+        doc["jit_speedup"] = _jit_speedup(results)
     return doc
+
+
+def _jit_speedup(results: Sequence[dict[str, Any]]) -> dict[str, Any]:
+    """Interp-lane over jit-lane fast-forward seconds, per two-level cell.
+
+    The ratio compares the lanes on identical work: same workload, mode,
+    budget and sampling plan, so ``ff_seconds`` (which includes the jit
+    lane's block-translation time) is directly comparable.  Each side
+    uses its min-of-reps (``ff_seconds_best``) so the ratio is between
+    the lanes' least-noisy measurements.
+    """
+
+    def _ff(cell: dict[str, Any]) -> float:
+        return cell.get("ff_seconds_best", cell.get("ff_seconds", 0.0))
+
+    interp = {(c["workload"], c["mode"]): _ff(c)
+              for c in results
+              if c["tier"] == "two-level" and c.get("ff_lane") == "interp"}
+    per_cell = {}
+    for c in results:
+        if c["tier"] != "two-level" or c.get("ff_lane") != "jit":
+            continue
+        base = interp.get((c["workload"], c["mode"]))
+        if base and _ff(c):
+            per_cell[f"{c['workload']}/{c['mode']}"] = round(
+                base / _ff(c), 2)
+    return {
+        "metric": "interp ff_seconds / jit ff_seconds",
+        "per_cell": per_cell,
+        "geomean": round(geomean(list(per_cell.values())), 2),
+    }
 
 
 def _two_level_speedup(results: Sequence[dict[str, Any]],

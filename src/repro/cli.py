@@ -44,6 +44,7 @@ from .analysis.sweeps import CANNED_SWEEPS, run_named_sweep
 from .config import (CONFIG_BUILDERS, SAMPLING_TIERS, SamplingConfig,
                      build_named_config)
 from .core import simulate
+from .fastpath import FF_LANES
 from .obs import EVENT_KINDS
 from .workloads import intensity_of, workload_names
 
@@ -128,6 +129,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      choices=sorted(CONFIG_BUILDERS))
     run.add_argument("--instructions", type=int, default=10_000)
     run.add_argument("--warmup", type=int, default=12_000)
+    run.add_argument("--ff-lane", choices=FF_LANES, default=None,
+                     help="fast-forward lane for warm-up and two-level "
+                          "gaps (default: REPRO_FF_LANE env, then 'jit')")
     _add_tier_args(run)
 
     compare = sub.add_parser("compare",
@@ -160,6 +164,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        default=bench_mod.DEFAULT_INSTRUCTIONS)
     bench.add_argument("--warmup", type=int, default=bench_mod.DEFAULT_WARMUP)
     bench.add_argument("--reps", type=int, default=bench_mod.DEFAULT_REPS)
+    bench.add_argument("--ff-lane", choices=bench_mod.FF_LANE_CHOICES,
+                       default=None,
+                       help="fast-forward lane for two-level cells; "
+                            "'both' measures each lane and reports the "
+                            "jit_speedup section (default: REPRO_FF_LANE "
+                            "env, then 'jit')")
     _add_tier_args(bench, tiers=(*SAMPLING_TIERS, "both"))
     bench.add_argument("--output", default="BENCH_sim_throughput.json")
     bench.add_argument("--before", default=None, metavar="JSON",
@@ -267,7 +277,8 @@ def _cmd_run(args) -> int:
                       max_instructions=args.instructions,
                       warmup_instructions=args.warmup,
                       config_name=args.config,
-                      sampling=sampling)
+                      sampling=sampling,
+                      ff_lane=args.ff_lane)
     tier = f" [{sampling.tier}]" if sampling is not None else ""
     print(f"{args.workload} / {args.config}{tier}:")
     _print_stats(result.stats, result.energy)
@@ -357,10 +368,16 @@ def _cmd_bench_throughput(args) -> int:
                           stride_instructions=args.stride)
     if "two-level" in tiers:
         plan.validate()
+    if args.ff_lane == "both":
+        ff_lanes = ("jit", "interp")
+    elif args.ff_lane:
+        ff_lanes = (args.ff_lane,)
+    else:
+        ff_lanes = None
     doc = bench_mod.run_benchmark(
         workloads=args.workloads, modes=args.modes,
         instructions=args.instructions, warmup=args.warmup, reps=args.reps,
-        tiers=tiers, plan=plan,
+        tiers=tiers, plan=plan, ff_lanes=ff_lanes,
         progress=print)
     if args.before:
         doc = bench_mod.attach_before(doc, bench_mod.load_results(args.before))
@@ -372,6 +389,11 @@ def _cmd_bench_throughput(args) -> int:
         print("two-level speedup: " + "  ".join(
             f"{mode}={x:.1f}x" for mode, x in speedup["geomean"].items())
             + f"  overall={speedup['overall']:.1f}x")
+    if "jit_speedup" in doc:
+        jit = doc["jit_speedup"]
+        print("jit ff speedup:    " + "  ".join(
+            f"{cell}={x:.2f}x" for cell, x in jit["per_cell"].items())
+            + f"  geomean={jit['geomean']:.2f}x")
     print(f"written to {path}")
     if args.check:
         failures = bench_mod.check_regression(

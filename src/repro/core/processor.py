@@ -205,6 +205,11 @@ class Processor:
         # shadows cold-path methods per instance so this hot loop never
         # checks for it.
         self.commit_hook = None
+        # Fast-forward lane default for this processor (None = resolve
+        # from REPRO_FF_LANE / the built-in "jit" default at call time)
+        # and cumulative host seconds spent translating blocks for it.
+        self.ff_lane: Optional[str] = None
+        self.ff_translate_seconds = 0.0
 
     def set_cycle_hook(self, hook) -> None:
         """Install a debug observer called as ``hook(self)`` after every
@@ -256,18 +261,34 @@ class Processor:
         self.fetch.redirect(arch_pc, self.now)
         return arch_pc
 
-    def fast_forward(self, instructions: int) -> int:
+    def fast_forward(self, instructions: int,
+                     lane: Optional[str] = None) -> int:
         """Advance ``instructions`` functionally from the architectural
         point, warming caches and the branch predictor, then restart the
         detailed model from the resulting state.  Returns the number of
         instructions actually executed (stops at HALT).
 
         This is the fast tier of two-tier simulation (and the whole of
-        pre-run warm-up): the reference interpreter replays the committed
-        path in batch (:meth:`Interpreter.run_warm`), feeding every
-        instruction fetch, memory access, and branch outcome to the
-        timing-free warm paths of the hierarchy and predictor.
+        pre-run warm-up).  Two lanes produce bit-identical warm state:
+
+        * ``"jit"`` (default) — block-compiled execution
+          (:mod:`repro.fastpath.blockjit`): each basic block / loop
+          superblock / branch region is translated once to specialized
+          Python and drives the hierarchy/predictor warm paths directly.
+        * ``"interp"`` — the reference interpreter replays the committed
+          path per-op (:meth:`Interpreter.run_warm`), feeding every
+          instruction fetch, memory access, and branch outcome through
+          per-op callbacks.
+
+        ``lane`` overrides the processor default (``self.ff_lane``),
+        which itself falls back to ``REPRO_FF_LANE`` and then ``"jit"``.
         """
+        from ..fastpath.blockjit import (
+            WarmTargets,
+            program_translate_seconds,
+            resolve_ff_lane,
+        )
+        lane = resolve_ff_lane(lane, self.ff_lane)
         if self.halted or instructions <= 0:
             return 0
         self.sync_architectural()
@@ -301,18 +322,31 @@ class Processor:
             elif inst.is_branch:
                 predictor.update(pc, inst, True, next_pc, False)
 
-        executed = interp.run_warm(instructions, on_ifetch=on_ifetch,
-                                   on_mem=hierarchy.warm_load,
-                                   on_branch=on_branch)
+        if lane == "jit":
+            warm = WarmTargets(hierarchy=hierarchy, predictor=predictor,
+                               prev_taken=prev_taken,
+                               pc_line_shift=pc_line_shift)
+            t0 = program_translate_seconds(self.program)
+            executed = interp.run_warm_jit(
+                instructions, on_ifetch=on_ifetch,
+                on_mem=hierarchy.warm_load, on_branch=on_branch,
+                warm=warm,
+                translate_hook=getattr(self, "_ff_translate_hook", None))
+            self.ff_translate_seconds += (
+                program_translate_seconds(self.program) - t0)
+        else:
+            executed = interp.run_warm(instructions, on_ifetch=on_ifetch,
+                                       on_mem=hierarchy.warm_load,
+                                       on_branch=on_branch)
         self.rename.reset_to_values(interp.regs)
         self.fetch.redirect(interp.pc, self.now)
         self.halted = interp.halted
         return executed
 
-    def warm_up(self, instructions: int) -> int:
+    def warm_up(self, instructions: int, lane: Optional[str] = None) -> int:
         """Fast-forward functionally before (or between) timed runs —
         kept as the historical name for the pre-run warm-up phase."""
-        return self.fast_forward(instructions)
+        return self.fast_forward(instructions, lane=lane)
 
     # ------------------------------------------------------------------
     # Main loop
@@ -988,7 +1022,7 @@ class Processor:
                     uop.actual_next_pc = uop.pc + 1
             done = now + self._lat_branch
             self._ev_alu += 1
-        elif cls == CLS_NOP:
+        elif cls >= CLS_NOP:       # NOP and the dispatch-only CLS_HALT
             done = now + 1
         else:
             uop.poisoned = poisoned

@@ -6,12 +6,15 @@ sampled tier's accuracy contract.  See docs/simulator.md, "Two-tier
 simulation".
 """
 
+from .blockjit import FF_LANES, resolve_ff_lane
 from .engine import run_two_tier
 from .validate import SAMPLING_TOLERANCES, check_sampling_error, runahead_share
 
 __all__ = [
+    "FF_LANES",
     "SAMPLING_TOLERANCES",
     "check_sampling_error",
+    "resolve_ff_lane",
     "run_two_tier",
     "runahead_share",
 ]

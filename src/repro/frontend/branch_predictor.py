@@ -178,3 +178,66 @@ class BranchPredictor:
                 # Cheap random-ish replacement: drop an arbitrary entry.
                 self._btb.pop(next(iter(self._btb)))
             self._btb[pc] = target
+
+    def warm_update_vector(self, pc: int, inst: Instruction,
+                           outcomes: list, taken_target: int,
+                           prev_taken: dict) -> None:
+        """Replay a run of functional-warm-up outcomes for ONE conditional
+        branch, bit-identically to calling :meth:`update` once per outcome
+        with ``ghr=None`` (the warm-up convention — see
+        ``Processor.fast_forward``) and threading the same ``prev_taken``
+        mispredict proxy between calls.
+
+        Used by the jit fast-forward lane for loop superblocks: the
+        per-iteration table training is GHR-order dependent and is
+        replayed exactly; the BTB insert collapses to one write because
+        the (pc, target) pair is static across the run — after the first
+        taken outcome the sequential inserts are exact no-ops, and no
+        other branch touches the BTB within the run.
+        """
+        if not outcomes:
+            return
+        gshare = self._gshare
+        bimodal = self._bimodal
+        chooser = self._chooser
+        gshare_mask = self._gshare_mask
+        history_mask = self._history_mask
+        bidx = pc & self._bimodal_mask
+        cidx = pc & self._chooser_mask
+        ghr = self.ghr
+        prev = prev_taken.get(pc, False)
+        mis = 0
+        for t in outcomes:
+            gidx = (pc ^ (ghr << 2)) & gshare_mask
+            ghr = ((ghr << 1) | t) & history_mask
+            g_correct = (gshare[gidx] >= 2) == t
+            if g_correct != ((bimodal[bidx] >= 2) == t):
+                c = chooser[cidx]
+                if g_correct:
+                    if c < 3:
+                        chooser[cidx] = c + 1
+                elif c > 0:
+                    chooser[cidx] = c - 1
+            g = gshare[gidx]
+            b = bimodal[bidx]
+            if t:
+                if g < 3:
+                    gshare[gidx] = g + 1
+                if b < 3:
+                    bimodal[bidx] = b + 1
+            else:
+                if g > 0:
+                    gshare[gidx] = g - 1
+                if b > 0:
+                    bimodal[bidx] = b - 1
+            if prev != t:
+                mis += 1
+            prev = t
+        self.ghr = ghr
+        prev_taken[pc] = prev
+        self.stats.cond_mispredicts += mis
+        if any(outcomes):
+            btb = self._btb
+            if len(btb) >= self.config.btb_entries and pc not in btb:
+                btb.pop(next(iter(btb)))
+            btb[pc] = taken_target

@@ -1,0 +1,154 @@
+"""Basic-block discovery over a static :class:`~repro.isa.program.Program`.
+
+The fast-forward JIT (:mod:`repro.fastpath.blockjit`) translates one
+*block* at a time: a maximal straight-line run of instructions starting
+at an entry PC and ending at the first control-flow instruction, HALT,
+the end of the program, or a length cap.  Discovery is **lazy and
+entry-addressed** rather than leader-based: the detailed->fast handoff
+can resume at any PC (the oldest uncommitted instruction of a squashed
+window), so blocks are discovered from whatever PC execution actually
+reaches, and two overlapping blocks (e.g. a loop body entered both from
+above and from its back-edge) simply coexist in the cache.
+
+A block whose terminal branch jumps back to its own entry — a
+conditional branch with ``target == entry``, or an unconditional JMP
+with ``target == entry`` — is classified as a *loop* superblock: the
+JIT compiles the whole iteration into one Python loop and batches the
+per-iteration branch outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .program import Program
+from .uop import CLS_BRANCH, CLS_HALT, Instruction, Opcode
+
+# Length cap: bounds translate time per block and the size of generated
+# functions.  Any longer run is split; the follow-on block starts at the
+# cut and chains through the block cache.
+MAX_BLOCK_LEN = 64
+
+# Block kinds.
+STRAIGHT = "straight"   # cut by the cap or the end of the program
+HALT = "halt"           # ends at a HALT instruction
+BRANCH = "branch"       # ends at a (non-loop-closing) control-flow op
+LOOP = "loop"           # terminal branch targets the block's own entry
+REGION = "region"       # multi-block unit (see Region below)
+
+# Region caps: bound the size of one multi-block compilation unit.
+REGION_MAX_BLOCKS = 8
+REGION_MAX_INSTS = 256
+
+
+@dataclass(frozen=True)
+class Block:
+    """One discovered basic block / loop superblock."""
+
+    entry: int
+    instructions: tuple[Instruction, ...]
+    kind: str
+
+    @property
+    def terminal(self) -> Instruction:
+        return self.instructions[-1]
+
+    def key(self) -> tuple:
+        """Content-identity tuple: entry PC plus the structural identity
+        of every instruction.  Two equal-content programs produce equal
+        block keys, so compiled code is shared across sweep cells."""
+        return (self.entry,
+                tuple(inst.key() for inst in self.instructions))
+
+
+@dataclass(frozen=True)
+class Region:
+    """A connected set of branch-terminated blocks compiled as one unit.
+
+    ``blocks[0].entry == entry``; discovery order is deterministic (BFS
+    over static branch edges), so equal-content programs produce equal
+    regions.  A single-block region degenerates to plain block
+    compilation."""
+
+    entry: int
+    blocks: tuple[Block, ...]
+
+    def key(self) -> tuple:
+        return tuple((b.key(), b.kind) for b in self.blocks)
+
+    def total_instructions(self) -> int:
+        return sum(len(b.instructions) for b in self.blocks)
+
+    def entries(self) -> frozenset[int]:
+        return frozenset(b.entry for b in self.blocks)
+
+
+def _successors(block: Block) -> tuple[int, ...]:
+    """Static control-flow successors of a block's terminal branch.
+    Indirect branches (JR/RET) have dynamic targets: no static edge."""
+    inst = block.terminal
+    if inst.is_indirect:
+        return ()
+    fall = block.entry + len(block.instructions)
+    if inst.is_conditional_branch:
+        return (inst.target, fall)
+    return (inst.target,)
+
+
+def discover_region(program: Program, entry: int,
+                    max_blocks: int = REGION_MAX_BLOCKS,
+                    max_insts: int = REGION_MAX_INSTS) -> Region:
+    """BFS the static branch graph from ``entry`` into one region.
+
+    Only BRANCH/LOOP blocks join a region (HALT and STRAIGHT blocks
+    terminate growth and stay standalone, so a region never halts
+    internally); edges leaving the collected set exit the compiled
+    function back to the driver."""
+    b0 = discover_block(program, entry)
+    if b0.kind not in (BRANCH, LOOP):
+        return Region(entry, (b0,))
+    n = len(program.instructions)
+    blocks: dict[int, Block] = {entry: b0}
+    total = len(b0.instructions)
+    queue = list(_successors(b0))
+    qi = 0
+    while qi < len(queue) and len(blocks) < max_blocks:
+        pc = queue[qi]
+        qi += 1
+        if pc in blocks or not 0 <= pc < n:
+            continue
+        b = discover_block(program, pc)
+        if b.kind not in (BRANCH, LOOP):
+            continue
+        if total + len(b.instructions) > max_insts:
+            continue
+        blocks[pc] = b
+        total += len(b.instructions)
+        queue.extend(_successors(b))
+    return Region(entry, tuple(blocks.values()))
+
+
+def discover_block(program: Program, entry: int,
+                   max_len: int = MAX_BLOCK_LEN) -> Block:
+    """Discover the block starting at ``entry`` (must be in range)."""
+    insts = program.instructions
+    n = len(insts)
+    if not 0 <= entry < n:
+        raise ValueError(f"entry PC {entry} out of range [0, {n})")
+    ops: list[Instruction] = []
+    pc = entry
+    while pc < n and len(ops) < max_len:
+        inst = insts[pc]
+        ops.append(inst)
+        cls = inst.cls_idx
+        if cls == CLS_BRANCH:
+            loop_closing = (
+                inst.target == entry
+                and (inst.is_conditional_branch
+                     or inst.opcode is Opcode.JMP)
+            )
+            return Block(entry, tuple(ops), LOOP if loop_closing else BRANCH)
+        if cls == CLS_HALT:
+            return Block(entry, tuple(ops), HALT)
+        pc += 1
+    return Block(entry, tuple(ops), STRAIGHT)

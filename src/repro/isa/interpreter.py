@@ -13,7 +13,14 @@ from typing import Callable, Iterator, Optional
 from .program import Program
 from .registers import NUM_ARCH_REGS
 from .semantics import MASK64, DataMemory, branch_target
-from .uop import CLS_BRANCH, CLS_LOAD, CLS_STORE, Instruction, Opcode
+from .uop import (
+    CLS_BRANCH,
+    CLS_HALT,
+    CLS_LOAD,
+    CLS_NOP,
+    CLS_STORE,
+    Instruction,
+)
 
 
 @dataclass(frozen=True)
@@ -93,9 +100,9 @@ class Interpreter:
                 if inst.dest_reg is not None:
                     regs[inst.dest_reg] = dest_value
             next_pc = branch_target(inst, pc, a, taken)
-        elif inst.opcode is Opcode.HALT:
+        elif cls == CLS_HALT:
             self.halted = True
-        elif inst.opcode is not Opcode.NOP:
+        elif cls != CLS_NOP:
             dest_value = inst.alu_fn(inst, a, b)
             if inst.dest_reg is not None:
                 regs[inst.dest_reg] = dest_value
@@ -184,12 +191,12 @@ class Interpreter:
                 next_pc = branch_target(inst, pc, a, taken)
                 if on_branch is not None:
                     on_branch(pc, inst, taken, next_pc)
-            elif inst.opcode is Opcode.HALT:
+            elif cls == CLS_HALT:
                 executed += 1
                 pc = next_pc
                 self.halted = True
                 break
-            elif inst.opcode is not Opcode.NOP:
+            elif cls != CLS_NOP:
                 value = inst.alu_fn(inst, a, b)
                 if inst.dest_reg is not None:
                     regs[inst.dest_reg] = value
@@ -199,3 +206,24 @@ class Interpreter:
         self.pc = pc
         self.retired += executed
         return executed
+
+    def run_warm_jit(
+        self,
+        max_instructions: int,
+        on_ifetch: Optional[Callable[[int], None]] = None,
+        on_mem: Optional[Callable[[int], None]] = None,
+        on_branch: Optional[Callable[[int, Instruction, bool, int], None]] = None,
+        warm=None,
+        translate_hook=None,
+    ) -> int:
+        """Block-compiled variant of :meth:`run_warm` (the jit
+        fast-forward lane).  Same architectural semantics and, in events
+        mode (``warm=None``), the identical callback stream; with a
+        ``repro.fastpath.blockjit.WarmTargets`` the compiled blocks feed
+        the cache/predictor warm paths directly in batches.  Falls back
+        to :meth:`run_warm` per-op for out-of-range PCs, non-64-bit-clean
+        registers, and sub-block budget tails.
+        """
+        from ..fastpath.blockjit import run_warm_jit
+        return run_warm_jit(self, max_instructions, on_ifetch, on_mem,
+                            on_branch, warm, translate_hook)

@@ -79,6 +79,11 @@ class UopClass(enum.Enum):
 # instead of hashing enum members.  Order matches the declaration above.
 (CLS_LOAD, CLS_STORE, CLS_IALU, CLS_IMUL, CLS_IDIV,
  CLS_FADD, CLS_FMUL, CLS_FDIV, CLS_BRANCH, CLS_NOP) = range(10)
+# Dispatch-only id for HALT.  HALT keeps ``UopClass.NOP`` for ports,
+# latency and energy accounting (NUM_UOP_CLASSES-sized tables are never
+# indexed with it), but interpreters dispatch on ``cls_idx`` alone, so
+# HALT needs its own slot: ``cls >= CLS_NOP`` covers NOP-and-HALT sites.
+CLS_HALT = 10
 UCLASS_IDX: dict[UopClass, int] = {cls: i for i, cls in enumerate(UopClass)}
 NUM_UOP_CLASSES = len(UopClass)
 
@@ -187,7 +192,7 @@ class Instruction:
         self.target = target
         cls = _OPCODE_CLASS[opcode]
         self.uop_class = cls
-        self.cls_idx = UCLASS_IDX[cls]
+        self.cls_idx = CLS_HALT if opcode is Opcode.HALT else UCLASS_IDX[cls]
         self.port_class = _PORT_OF_CLASS[cls]
         self.is_load = opcode is Opcode.LD
         self.is_store = opcode is Opcode.ST

@@ -20,7 +20,7 @@ from typing import Optional
 
 from ..config import SystemConfig
 from ..prefetch import StreamPrefetcher
-from .cache import Cache
+from .cache import Cache, CacheLine
 from .controller import MemoryController
 
 # Taxonomy of request kinds; used for DRAM/LLC accounting.
@@ -265,6 +265,189 @@ class MemoryHierarchy:
         if not self.llc.probe(line_addr):
             self.llc.fill(line_addr, 0)
         self.l1i.fill(line_addr, 0)
+
+    # -- flattened warm paths (jit fast-forward lane only) ----------------------
+    #
+    # Bit-identical re-implementations of the warm paths above with the
+    # per-level call tree (lookup/probe/fill/invalidate/eviction hook)
+    # flattened into straight-line dict operations.  Only the jit
+    # fast-forward lane binds these; the interp lane keeps the reference
+    # implementations, and tests/test_blockjit.py differentially checks
+    # the two against each other.  Must be kept in lockstep with
+    # ``Cache.fill``/``Cache.lookup``/``_on_llc_eviction``.
+
+    def _warm_llc_fill(self, line_addr: int, lset) -> None:
+        """``llc.fill(line_addr, 0)`` for a line known absent from
+        ``lset`` (its set) and not the LLC MRU entry."""
+        llc = self.llc
+        ln = None
+        if len(lset) >= llc.assoc:
+            va, vl = lset.popitem(last=False)
+            st = llc.stats
+            st.evictions += 1
+            llc._resident -= 1
+            if vl.dirty or vl.prefetched:
+                # Writeback / FDP accounting: rare, take the full hook.
+                if vl.dirty:
+                    st.writebacks += 1
+                if va == llc._mru_key:
+                    llc._mru_key = -1
+                    llc._mru_line = None
+                self._on_llc_eviction(va, vl)
+            else:
+                # Common case of _on_llc_eviction: back-invalidate L1s.
+                # The victim MRU-clear is dead here (the tail below
+                # reassigns the MRU unconditionally) and the clean victim
+                # never escapes, so its line object is recycled as the
+                # fresh CacheLine(0), field for field.
+                l1d = self.l1d
+                if l1d._sets[va % l1d.num_sets].pop(va, None) is not None:
+                    l1d.stats.invalidations += 1
+                    l1d._resident -= 1
+                    if va == l1d._mru_key:
+                        l1d._mru_key = -1
+                        l1d._mru_line = None
+                l1i = self.l1i
+                if l1i._sets[va % l1i.num_sets].pop(va, None) is not None:
+                    l1i.stats.invalidations += 1
+                    l1i._resident -= 1
+                    if va == l1i._mru_key:
+                        l1i._mru_key = -1
+                        l1i._mru_line = None
+                vl.ready_cycle = 0
+                vl.referenced = False
+                ln = vl
+        if ln is None:
+            ln = CacheLine(0)
+        lset[line_addr] = ln
+        llc._resident += 1
+        llc._mru_key = line_addr
+        llc._mru_line = ln
+
+    def warm_load_miss(self, line_addr: int) -> None:
+        """L1D-miss continuation of :meth:`warm_load`, taking the *line*
+        address: the caller (generated block code) has already
+        established the line is neither the L1D MRU entry nor resident
+        in its L1D set."""
+        llc = self.llc
+        if line_addr != llc._mru_key:
+            lset = llc._sets[line_addr % llc.num_sets]
+            lln = lset.get(line_addr)
+            if lln is not None:
+                # Touching LLC lookup hit.
+                lset.move_to_end(line_addr)
+                llc._mru_key = line_addr
+                llc._mru_line = lln
+            else:
+                # _warm_llc_fill, inlined: pointer-chasing workloads take
+                # this path on nearly every load miss, so the call frame
+                # is worth eliding.
+                ln = None
+                if len(lset) >= llc.assoc:
+                    va, vl = lset.popitem(last=False)
+                    st = llc.stats
+                    st.evictions += 1
+                    llc._resident -= 1
+                    if vl.dirty or vl.prefetched:
+                        if vl.dirty:
+                            st.writebacks += 1
+                        if va == llc._mru_key:
+                            llc._mru_key = -1
+                            llc._mru_line = None
+                        self._on_llc_eviction(va, vl)
+                    else:
+                        l1d = self.l1d
+                        if (l1d._sets[va % l1d.num_sets].pop(va, None)
+                                is not None):
+                            l1d.stats.invalidations += 1
+                            l1d._resident -= 1
+                            if va == l1d._mru_key:
+                                l1d._mru_key = -1
+                                l1d._mru_line = None
+                        l1i = self.l1i
+                        if (l1i._sets[va % l1i.num_sets].pop(va, None)
+                                is not None):
+                            l1i.stats.invalidations += 1
+                            l1i._resident -= 1
+                            if va == l1i._mru_key:
+                                l1i._mru_key = -1
+                                l1i._mru_line = None
+                        vl.ready_cycle = 0
+                        vl.referenced = False
+                        ln = vl
+                if ln is None:
+                    ln = CacheLine(0)
+                lset[line_addr] = ln
+                llc._resident += 1
+                llc._mru_key = line_addr
+                llc._mru_line = ln
+        # l1d.fill(line_addr, 0): the line is still absent (the back-
+        # invalidation above only removes), so only the victim path of
+        # Cache.fill applies.
+        l1d = self.l1d
+        dset = l1d._sets[line_addr % l1d.num_sets]
+        if len(dset) >= l1d.assoc:
+            # Victim MRU-clear elided (the tail reassigns MRU); the
+            # victim line object is recycled as the fresh CacheLine(0).
+            va, vl = dset.popitem(last=False)
+            st = l1d.stats
+            st.evictions += 1
+            if vl.dirty:
+                st.writebacks += 1
+                vl.dirty = False
+            vl.ready_cycle = 0
+            vl.prefetched = False
+            vl.referenced = False
+            ln = vl
+        else:
+            ln = CacheLine(0)
+            l1d._resident += 1
+        dset[line_addr] = ln
+        l1d._mru_key = line_addr
+        l1d._mru_line = ln
+
+    def warm_ifetch_line(self, line_addr: int) -> None:
+        """Bit-identical to :meth:`warm_ifetch`, flattened, taking the
+        *line* address (the generated code folds ``pc*4 >> shift`` to a
+        literal at translate time)."""
+        llc = self.llc
+        if line_addr != llc._mru_key:
+            lset = llc._sets[line_addr % llc.num_sets]
+            if line_addr not in lset:
+                self._warm_llc_fill(line_addr, lset)
+        # l1i.fill(line_addr, 0), full Cache.fill semantics.
+        l1i = self.l1i
+        if line_addr == l1i._mru_key:
+            ln = l1i._mru_line
+            if ln.ready_cycle > 0:
+                ln.ready_cycle = 0
+            return
+        iset = l1i._sets[line_addr % l1i.num_sets]
+        ln = iset.get(line_addr)
+        if ln is not None:
+            if ln.ready_cycle > 0:
+                ln.ready_cycle = 0
+            iset.move_to_end(line_addr)
+            l1i._mru_key = line_addr
+            l1i._mru_line = ln
+            return
+        if len(iset) >= l1i.assoc:
+            va, vl = iset.popitem(last=False)
+            st = l1i.stats
+            st.evictions += 1
+            if vl.dirty:
+                st.writebacks += 1
+                vl.dirty = False
+            vl.ready_cycle = 0
+            vl.prefetched = False
+            vl.referenced = False
+            ln = vl
+        else:
+            ln = CacheLine(0)
+            l1i._resident += 1
+        iset[line_addr] = ln
+        l1i._mru_key = line_addr
+        l1i._mru_line = ln
 
     # -- reporting ----------------------------------------------------------------
 

@@ -82,6 +82,12 @@ EVENT_SCHEMAS: dict[str, dict[str, tuple[type, ...]]] = {
         "action": (str,),           # "up" | "down" | "steady" | "hold"
         "level": (int,),            # aggressiveness-ladder index after
     },
+    # One fast-forward region translation (jit lane, once per region).
+    "ff.block_translate": {
+        "pc": (int,),               # region entry PC
+        "length": (int,),           # instructions covered by the region
+        "loop": (bool,),            # region closes a back edge
+    },
 }
 
 EVENT_KINDS: tuple[str, ...] = tuple(sorted(EVENT_SCHEMAS))

@@ -90,6 +90,10 @@ def _convert(event: TraceEvent) -> Optional[dict[str, Any]]:
         return _instant(TID_PREFETCH, name, cycle, data)
     if kind == "fdp_window":
         return _instant(TID_PREFETCH, f"fdp:{data['action']}", cycle, data)
+    if kind == "ff.block_translate":
+        # Translation costs host time, not simulated cycles, so it
+        # renders as an instant at the gap's cycle position.
+        return _instant(TID_FRONTEND, "ff_translate", cycle, data)
     return None  # unknown kinds are skipped, not fatal
 
 

@@ -25,6 +25,9 @@ prefetch_issue     ``MemoryHierarchy._issue_prefetches``
 prefetch_resolve   ``StreamPrefetcher.record_useful`` /
                    ``record_unused_eviction``
 fdp_window         ``StreamPrefetcher._feedback``
+ff.block_translate ``Processor._ff_translate_hook`` (plain attribute: the
+                   jit fast-forward lane looks it up with ``getattr``
+                   and passes it to the translator)
 =================  ========================================================
 
 Occupancy sampling additionally installs a cycle hook via
@@ -224,6 +227,17 @@ class Tracer:
                          level=prefetcher._level)
 
                 self._shadow(prefetcher, "_feedback", feedback)
+
+        if "ff.block_translate" in kinds:
+            # Not a method shadow: fast_forward fetches this attribute
+            # with getattr(..., None) each gap and hands it to the jit
+            # translator, which fires it once per newly compiled region.
+            # Absent attribute == tracing off == zero cost.
+            def block_translate(pc: int, length: int, loop: bool) -> None:
+                emit("ff.block_translate", proc.now,
+                     pc=pc, length=length, loop=loop)
+
+            self._shadow(proc, "_ff_translate_hook", block_translate)
 
         if self.sampler is not None:
             proc.set_cycle_hook(self.sampler.on_cycle)

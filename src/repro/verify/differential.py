@@ -96,7 +96,7 @@ def _record_from_uop(uop, index: int) -> RetireRecord:
     else:
         next_pc = uop.pc + 1
         taken = None
-        if cls == CLS_STORE or cls == CLS_NOP:
+        if cls == CLS_STORE or cls >= CLS_NOP:  # store, NOP, or CLS_HALT
             dest_value = None
         else:
             dest_value = uop.value

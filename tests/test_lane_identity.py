@@ -1,0 +1,54 @@
+"""Lane-identity gate: sampled runs must not care which fast-forward
+lane warmed the gaps.
+
+``simulate(..., ff_lane="interp")`` and ``ff_lane="jit"`` must hand the
+detailed bursts exactly the same warmed state, so ``SimStats`` — every
+counter, the estimates, the energy report — comes out byte-identical.
+This is the CI gate for the lane contract; the instruction-level
+differential lives in ``test_warmup_parity.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import SamplingConfig, build_named_config
+from repro.core.sim import simulate
+
+# A plan with several fast-forward gaps inside the budget, so lane
+# divergence anywhere (caches, predictor, memory, architectural state)
+# would desynchronize a later burst and show up in the stats.
+PLAN = SamplingConfig(tier="two-level", ramp_instructions=300,
+                      window_instructions=900, stride_instructions=6_000)
+
+CELLS = [
+    ("mcf", "baseline"),
+    ("mcf", "rab_cc"),
+    ("milc", "baseline"),
+    ("milc", "rab_cc"),
+    ("libquantum", "baseline"),
+    ("lbm", "rab_cc"),
+]
+
+
+def _stats_blob(workload, config_name, lane):
+    result = simulate(workload, build_named_config(config_name),
+                      max_instructions=30_000, warmup_instructions=8_000,
+                      sampling=PLAN, ff_lane=lane)
+    # Wall-clock fields are the only legitimately lane-dependent part of
+    # the run; everything else must match to the byte.
+    sampling = {k: v for k, v in result.sampling.items()
+                if "seconds" not in k and k != "ff_lane"}
+    return json.dumps({"stats": result.stats.to_dict(),
+                       "sampling": sampling},
+                      sort_keys=True)
+
+
+@pytest.mark.parametrize("workload,config_name", CELLS,
+                         ids=[f"{w}-{c}" for w, c in CELLS])
+def test_sampled_stats_identical_across_lanes(workload, config_name):
+    interp = _stats_blob(workload, config_name, "interp")
+    jit = _stats_blob(workload, config_name, "jit")
+    assert interp == jit

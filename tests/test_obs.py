@@ -100,7 +100,8 @@ def test_untraced_processor_carries_no_obs_attributes():
                      memory=built.memory, init_regs=built.init_regs)
     shadow_points = [
         (proc, ("_step", "_enter_traditional", "_enter_rab",
-                "_exit_runahead", "_generate_chain")),
+                "_exit_runahead", "_generate_chain",
+                "_ff_translate_hook")),
         (proc.fetch, ("redirect",)),
         (proc.chain_cache, ("lookup",)),
         (proc.hierarchy, ("_issue_prefetches",)),
@@ -127,7 +128,7 @@ def test_detach_restores_untraced_state():
     tracer.detach()
     assert "redirect" not in vars(proc.fetch)
     for name in ("_step", "_exit_runahead", "_generate_chain",
-                 "_enter_traditional", "_enter_rab"):
+                 "_enter_traditional", "_enter_rab", "_ff_translate_hook"):
         assert name not in vars(proc)
     assert "request" not in vars(proc.hierarchy.controller)
     assert "_feedback" not in vars(proc.hierarchy.prefetcher)
@@ -186,6 +187,50 @@ def test_fdp_window_seam():
     prefetcher._interval_issued = prefetcher.config.fdp_interval
     prefetcher._feedback()
     assert tracer.trace.events("fdp_window")[-1].data["action"] == "hold"
+
+
+def test_ff_block_translate_seam():
+    """Jit fast-forward translations emit through the tracer seam.
+
+    ``warmup_instructions=0`` so the first translations happen inside
+    the traced two-level run rather than in pre-attach warm-up."""
+    from repro.config import SamplingConfig
+
+    plan = SamplingConfig(tier="two-level", ramp_instructions=300,
+                          window_instructions=900,
+                          stride_instructions=4_000)
+    tracer = Tracer(kinds=["ff.block_translate"])
+    result = simulate("mcf", build_named_config("hybrid"),
+                      max_instructions=20_000, warmup_instructions=0,
+                      attach=tracer.attach, sampling=plan, ff_lane="jit")
+    events = tracer.trace.events("ff.block_translate")
+    assert events, "no translation events from a cold two-level run"
+    program_len = len(build_workload("mcf").program.instructions)
+    for event in events:
+        validate_event(event)
+        assert 0 <= event.data["pc"] < program_len
+        assert event.data["length"] >= 1
+    # mcf is one hot loop: at least one region is loop-shaped.
+    assert any(e.data["loop"] for e in events)
+    # One event per translation, not per execution: far fewer events
+    # than fast-forwarded instructions.
+    assert len(events) < 50
+    assert result.sampling["translate_seconds"] > 0.0
+    tracer.detach()
+
+
+def test_ff_block_translate_silent_on_interp_lane():
+    from repro.config import SamplingConfig
+
+    plan = SamplingConfig(tier="two-level", ramp_instructions=300,
+                          window_instructions=900,
+                          stride_instructions=4_000)
+    tracer = Tracer(kinds=["ff.block_translate"])
+    simulate("mcf", build_named_config("hybrid"),
+             max_instructions=20_000, warmup_instructions=0,
+             attach=tracer.attach, sampling=plan, ff_lane="interp")
+    assert tracer.trace.counts["ff.block_translate"] == 0
+    tracer.detach()
 
 
 def test_runahead_exit_payload(hybrid_run):

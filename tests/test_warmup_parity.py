@@ -31,8 +31,12 @@ import pytest
 
 from repro.config import build_named_config
 from repro.core.processor import Processor
+from repro.fastpath.blockjit import INST_BYTES, WarmTargets
+from repro.frontend.branch_predictor import BranchPredictor
 from repro.isa import Interpreter
+from repro.memory.hierarchy import MemoryHierarchy
 from repro.verify.fuzz import build_fuzz_program
+from repro.workloads import build_workload
 
 # Acceptance floor: the differential must cover >= 100 fuzz seeds.
 PARITY_SEEDS = 120
@@ -129,6 +133,169 @@ def test_warmup_executed_count_stops_at_halt():
                      memory=fuzz.memory())
     assert proc.warm_up(10 ** 6) == len(ops)
     assert proc.halted
+
+
+# ---------------------------------------------------------------------------
+# Block-jit lane differential (see repro.fastpath.blockjit): the compiled
+# fast-forward lane must be interchangeable with run_warm — identical
+# callback event streams in events mode, identical warmed hardware state
+# in warm mode.
+# ---------------------------------------------------------------------------
+
+# Uneven budget schedule: exercises mid-block entry PCs, budget tails
+# (the per-op fallback inside run_warm_jit) and resume-from-arbitrary-pc.
+JIT_CHUNKS = (7, 113, 1, 64, 500, 9, 1000, 5000)
+
+
+def _run_warm_jit(fuzz, budget: int):
+    """run_warm_jit driven in uneven chunks, recording every callback."""
+    interp = Interpreter(fuzz.program, fuzz.memory())
+    pcs: list[int] = []
+    mems: list[int] = []
+    branches: list[tuple[int, bool, int]] = []
+    executed = 0
+    for chunk in (*JIT_CHUNKS, budget):
+        if executed >= budget or interp.halted:
+            break
+        executed += interp.run_warm_jit(
+            min(chunk, budget - executed),
+            on_ifetch=pcs.append,
+            on_mem=mems.append,
+            on_branch=lambda pc, inst, taken, nxt: branches.append(
+                (pc, taken, nxt)),
+        )
+    return interp, executed, pcs, mems, branches
+
+
+def test_run_warm_jit_matches_run_warm_over_fuzz_corpus():
+    """Events mode: the compiled lane's callback streams and final
+    architectural state must be bit-identical to ``run_warm``'s."""
+    failures = []
+    for seed in range(PARITY_SEEDS):
+        fuzz = build_fuzz_program(seed, target_insts=PARITY_TARGET_INSTS)
+        ref, executed, pcs, mems, branches = _run_warm(fuzz, PARITY_BUDGET)
+        fuzz2 = build_fuzz_program(seed, target_insts=PARITY_TARGET_INSTS)
+        jit, jexecuted, jpcs, jmems, jbranches = _run_warm_jit(
+            fuzz2, PARITY_BUDGET)
+        for what, got, want in (
+            ("executed", jexecuted, executed),
+            ("retirement stream", jpcs, pcs),
+            ("memory stream", jmems, mems),
+            ("branch stream", jbranches, branches),
+            ("regs", jit.regs, ref.regs),
+            ("pc", jit.pc, ref.pc),
+            ("halted", jit.halted, ref.halted),
+            ("retired", jit.retired, ref.retired),
+            ("memory", jit.memory.snapshot(), ref.memory.snapshot()),
+        ):
+            if got != want:
+                failures.append(f"seed {seed}: {what} diverged")
+                break
+    assert not failures, (
+        f"{len(failures)}/{PARITY_SEEDS} seeds diverged:\n  "
+        + "\n  ".join(failures[:10])
+    )
+
+
+def _cache_state(cache):
+    """Full observable cache state: per-set contents in LRU order plus
+    the MRU key (so elided touches can't hide)."""
+    return ([[(k, (ln.ready_cycle, ln.dirty)) for k, ln in s.items()]
+             for s in cache._sets], cache._mru_key)
+
+
+def _pred_state(pred):
+    return (bytes(pred._gshare), bytes(pred._bimodal), bytes(pred._chooser),
+            pred.ghr, dict(pred._btb), list(pred._ras), pred._ras_sp,
+            (pred.stats.cond_predictions, pred.stats.cond_mispredicts,
+             pred.stats.btb_misses, pred.stats.ras_predictions))
+
+
+def _warm_lane(program, memory, budget: int, jit: bool):
+    """One fast-forward lane against fresh caches/predictor, mirroring
+    the closures ``Processor.fast_forward`` builds; returns every piece
+    of state the lane is allowed to touch."""
+    cfg = build_named_config("baseline")
+    interp = Interpreter(program, memory)
+    hierarchy = MemoryHierarchy(cfg)
+    pred = BranchPredictor(cfg.branch)
+    prev_taken: dict[int, bool] = {}
+    l1i = hierarchy.l1i
+    warm_ifetch = hierarchy.warm_ifetch
+    shift = ((l1i.line_bytes.bit_length() - 1)
+             - (INST_BYTES.bit_length() - 1))
+
+    def on_ifetch(pc):
+        line = pc >> shift
+        if line == l1i._mru_key and l1i._mru_line.ready_cycle <= 0:
+            return
+        warm_ifetch(pc * INST_BYTES)
+
+    def on_branch(pc, inst, taken, next_pc):
+        if inst.is_conditional_branch:
+            mispred = prev_taken.get(pc, False) != taken
+            pred.update(pc, inst, taken, next_pc, mispred)
+            prev_taken[pc] = taken
+        elif inst.is_branch:
+            pred.update(pc, inst, True, next_pc, False)
+
+    if jit:
+        warm = WarmTargets(hierarchy=hierarchy, predictor=pred,
+                           prev_taken=prev_taken, pc_line_shift=shift)
+        executed = 0
+        for chunk in (*JIT_CHUNKS, budget):
+            if executed >= budget or interp.halted:
+                break
+            executed += interp.run_warm_jit(
+                min(chunk, budget - executed), on_ifetch=on_ifetch,
+                on_mem=hierarchy.warm_load, on_branch=on_branch, warm=warm)
+    else:
+        executed = interp.run_warm(budget, on_ifetch=on_ifetch,
+                                   on_mem=hierarchy.warm_load,
+                                   on_branch=on_branch)
+    return {
+        "executed": executed,
+        "regs": interp.regs,
+        "pc": interp.pc,
+        "halted": interp.halted,
+        "memory": interp.memory.snapshot(),
+        "l1d": _cache_state(hierarchy.l1d),
+        "l1i": _cache_state(hierarchy.l1i),
+        "llc": _cache_state(hierarchy.llc),
+        "pred": _pred_state(pred),
+        "prev_taken": dict(prev_taken),
+    }
+
+
+def test_warm_lane_state_parity_over_fuzz_corpus():
+    """Warm mode: caches (LRU order + MRU), predictor tables/BTB/GHR/RAS
+    and stats, and architectural state all bit-identical across lanes."""
+    failures = []
+    for seed in range(PARITY_SEEDS):
+        fa = build_fuzz_program(seed, target_insts=PARITY_TARGET_INSTS)
+        fb = build_fuzz_program(seed, target_insts=PARITY_TARGET_INSTS)
+        ref = _warm_lane(fa.program, fa.memory(), PARITY_BUDGET, jit=False)
+        jit = _warm_lane(fb.program, fb.memory(), PARITY_BUDGET, jit=True)
+        for what in ref:
+            if ref[what] != jit[what]:
+                failures.append(f"seed {seed}: {what} diverged")
+                break
+    assert not failures, (
+        f"{len(failures)}/{PARITY_SEEDS} seeds diverged:\n  "
+        + "\n  ".join(failures[:10])
+    )
+
+
+@pytest.mark.parametrize("workload", ["mcf", "milc", "libquantum", "lbm"])
+def test_warm_lane_state_parity_on_workloads(workload):
+    """Same differential on the real kernels, where loop superblocks,
+    the batched branch trainer and the flat miss paths actually fire."""
+    wa = build_workload(workload)
+    wb = build_workload(workload)
+    ref = _warm_lane(wa.program, wa.memory, 50_000, jit=False)
+    jit = _warm_lane(wb.program, wb.memory, 50_000, jit=True)
+    for what in ref:
+        assert ref[what] == jit[what], f"{workload}: {what} diverged"
 
 
 # ---------------------------------------------------------------------------
