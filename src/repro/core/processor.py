@@ -210,6 +210,11 @@ class Processor:
         # and cumulative host seconds spent translating blocks for it.
         self.ff_lane: Optional[str] = None
         self.ff_translate_seconds = 0.0
+        # Cumulative instructions executed by fast_forward since
+        # construction.  With committed == 0 this is the exact stream
+        # position of the architectural state — the provenance the
+        # checkpoint store keys on (repro.fastpath.checkpoint).
+        self.ff_instructions = 0
 
     def set_cycle_hook(self, hook) -> None:
         """Install a debug observer called as ``hook(self)`` after every
@@ -341,12 +346,70 @@ class Processor:
         self.rename.reset_to_values(interp.regs)
         self.fetch.redirect(interp.pc, self.now)
         self.halted = interp.halted
+        self.ff_instructions += executed
         return executed
 
     def warm_up(self, instructions: int, lane: Optional[str] = None) -> int:
         """Fast-forward functionally before (or between) timed runs —
         kept as the historical name for the pre-run warm-up phase."""
         return self.fast_forward(instructions, lane=lane)
+
+    # ------------------------------------------------------------------
+    # Warm-state snapshots (repro.fastpath.checkpoint)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Architectural + warm microarchitectural state as plain data.
+
+        Collapses to the architectural point first (``sync_architectural``
+        — safe mid-episode: any runahead interval is exited exactly as a
+        fast-forward call would exit it), then captures the state the
+        two-tier engine carries across a fast-forward gap: registers, PC,
+        memory words, the full cache/DRAM/prefetcher hierarchy, the
+        branch predictor, and the stream-position bookkeeping.  Run
+        statistics (``SimStats``, energy counters, runahead-policy
+        interval history) are deliberately *not* part of the format:
+        a restored processor measures from zero, which is what the
+        live-point engine's per-window delta merge needs.
+        """
+        pc = self.sync_architectural()
+        return {
+            "pc": pc,
+            "regs": tuple(self.rename.arch_values()),
+            "memory": dict(self.memory._words),
+            "memory_fill": self.memory.default_fill,
+            "now": self.now,
+            "seq": self.seq,
+            "committed": self.committed,
+            "halted": self.halted,
+            "ff_instructions": self.ff_instructions,
+            "hierarchy": self.hierarchy.snapshot(),
+            "predictor": self.predictor.snapshot_state(),
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Load a :meth:`snapshot` into this processor.
+
+        Intended target: a freshly constructed processor for the same
+        program and geometry (the live-point window workers).  State
+        outside the snapshot format — stats, energy counters, policy
+        interval history — keeps its current values, so restoring onto a
+        fresh processor yields a measure-from-zero replica of the
+        snapshotted architectural + warm state.
+        """
+        self.sync_architectural()
+        self.memory._words = dict(snap["memory"])
+        self.memory.default_fill = snap["memory_fill"]
+        self.rename.reset_to_values(list(snap["regs"]))
+        self.now = snap["now"]
+        self.seq = snap["seq"]
+        self.committed = snap["committed"]
+        self._last_progress = self.now
+        self.fetch.redirect(snap["pc"], self.now)
+        self.halted = snap["halted"]
+        self.ff_instructions = snap["ff_instructions"]
+        self.hierarchy.restore(snap["hierarchy"])
+        self.predictor.restore_state(snap["predictor"])
 
     # ------------------------------------------------------------------
     # Main loop

@@ -23,6 +23,7 @@ stay fully detailed (all committed paper figures).
 
 from __future__ import annotations
 
+import json
 from typing import Any, Mapping, Optional
 
 #: Documented accuracy contract of tier="two-level" at the default plan.
@@ -43,6 +44,34 @@ def runahead_share(stats: Mapping[str, Any]) -> float:
     if "runahead_share" in stats:
         return stats["runahead_share"]
     return stats.get("runahead_cycle_fraction", 0.0)
+
+
+def stats_fingerprint(stats: Mapping[str, Any],
+                      sampling: Optional[Mapping[str, Any]] = None) -> str:
+    """Canonical JSON blob of a run's deterministic payload.
+
+    Strips every host-environment key (``*seconds*`` timings, the
+    fast-forward lane tag, the worker count, and checkpoint-store
+    hit/miss bookkeeping — all recursively), then serializes with sorted
+    keys — so two runs that simulated the same thing produce equal
+    fingerprints regardless of wall-clock, lane, store temperature, or
+    worker scheduling.  This is the comparison the serial-vs-parallel
+    byte-identity CI gate and the lane-identity tests use.
+    """
+    host_keys = {"ff_lane", "jobs", "store_hits", "store_misses"}
+
+    def scrub(value):
+        if isinstance(value, Mapping):
+            return {k: scrub(v) for k, v in value.items()
+                    if "seconds" not in k and k not in host_keys}
+        if isinstance(value, (list, tuple)):
+            return [scrub(v) for v in value]
+        return value
+
+    payload: dict[str, Any] = {"stats": scrub(stats)}
+    if sampling is not None:
+        payload["sampling"] = scrub(sampling)
+    return json.dumps(payload, sort_keys=True)
 
 
 def check_sampling_error(

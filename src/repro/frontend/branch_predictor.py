@@ -82,6 +82,47 @@ class BranchPredictor:
         self._ras = list(ras)
         self._ras_sp = sp
 
+    def snapshot_state(self) -> tuple:
+        """Complete predictor state for warm-state checkpoints: all three
+        counter tables, the GHR, the BTB (sorted by PC so the serialized
+        form is independent of insertion order — the jit lane's batched
+        BTB writes insert in a different order than the interp lane's
+        sequential ones), the RAS and its pointer, and the stats.
+
+        Named ``snapshot_state`` (not ``snapshot``) because
+        :meth:`snapshot`/:meth:`restore` are the per-prediction GHR/RAS
+        repair pair the core uses on every branch.
+        """
+        st = self.stats
+        return (
+            bytes(self._gshare),
+            bytes(self._bimodal),
+            bytes(self._chooser),
+            self.ghr,
+            tuple(sorted(self._btb.items())),
+            tuple(self._ras),
+            self._ras_sp,
+            (st.cond_predictions, st.cond_mispredicts, st.btb_misses,
+             st.ras_predictions),
+        )
+
+    def restore_state(self, snap: tuple) -> None:
+        gshare, bimodal, chooser, ghr, btb, ras, ras_sp, stats = snap
+        if (len(gshare) != len(self._gshare)
+                or len(bimodal) != len(self._bimodal)
+                or len(chooser) != len(self._chooser)):
+            raise ValueError("predictor snapshot has different table sizes")
+        self._gshare = bytearray(gshare)
+        self._bimodal = bytearray(bimodal)
+        self._chooser = bytearray(chooser)
+        self.ghr = ghr
+        self._btb = dict(btb)
+        self._ras = list(ras)
+        self._ras_sp = ras_sp
+        st = self.stats
+        (st.cond_predictions, st.cond_mispredicts, st.btb_misses,
+         st.ras_predictions) = stats
+
     def repair(self, pc: int, inst: Instruction, taken: bool,
                snapshot: PredictorSnapshot) -> None:
         """Fix speculative GHR/RAS state after a misprediction: rewind to

@@ -50,6 +50,15 @@ class Program:
     def __len__(self) -> int:
         return len(self.instructions)
 
+    def __getstate__(self) -> dict:
+        # The block JIT stashes compiled code objects on the program
+        # (``_blockjit``); those are process-local and unpicklable, so
+        # strip them when a program crosses a process boundary (window
+        # fan-out).  Workers re-JIT on demand if they ever fast-forward.
+        state = self.__dict__.copy()
+        state.pop("_blockjit", None)
+        return state
+
     def fetch(self, pc: int) -> Instruction:
         """Instruction at ``pc``; out-of-range PCs (wrong-path fetch after a
         corrupted indirect target) decode as NOPs rather than faulting."""

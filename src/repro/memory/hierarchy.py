@@ -449,6 +449,43 @@ class MemoryHierarchy:
         l1i._mru_key = line_addr
         l1i._mru_line = ln
 
+    # -- warm-state snapshots -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Everything the hierarchy carries between bursts: all three
+        cache arrays in LRU order, the traffic accounting, the MSHR fill
+        heap, the DRAM controller (bank rows, reservations, stats), and
+        the stream prefetcher.  Plain data only — pickles, digests, and
+        round-trips through :meth:`restore` exactly (see
+        ``repro.fastpath.checkpoint``)."""
+        return {
+            "l1i": self.l1i.snapshot(),
+            "l1d": self.l1d.snapshot(),
+            "llc": self.llc.snapshot(),
+            "llc_misses": tuple(sorted(self.llc_misses.items())),
+            "llc_accesses": tuple(sorted(self.llc_accesses.items())),
+            "ifetch_llc_misses": self.ifetch_llc_misses,
+            "fills": tuple(self._fills),
+            "mshr_rejections": self.mshr_rejections,
+            "controller": self.controller.snapshot(),
+            "prefetcher": (None if self.prefetcher is None
+                           else self.prefetcher.snapshot()),
+        }
+
+    def restore(self, snap: dict) -> None:
+        self.l1i.restore(snap["l1i"])
+        self.l1d.restore(snap["l1d"])
+        self.llc.restore(snap["llc"])
+        self.llc_misses = dict(snap["llc_misses"])
+        self.llc_accesses = dict(snap["llc_accesses"])
+        self.ifetch_llc_misses = snap["ifetch_llc_misses"]
+        self._fills = list(snap["fills"])
+        heapq.heapify(self._fills)
+        self.mshr_rejections = snap["mshr_rejections"]
+        self.controller.restore(snap["controller"])
+        if self.prefetcher is not None and snap["prefetcher"] is not None:
+            self.prefetcher.restore(snap["prefetcher"])
+
     # -- reporting ----------------------------------------------------------------
 
     def demand_llc_misses(self) -> int:

@@ -88,6 +88,15 @@ EVENT_SCHEMAS: dict[str, dict[str, tuple[type, ...]]] = {
         "length": (int,),           # instructions covered by the region
         "loop": (bool,),            # region closes a back edge
     },
+    # Live-point checkpointing (two-level tier with a CheckpointPlan).
+    "ckpt.save": {
+        "position": (int,),         # stride boundary (instructions from entry)
+        "store": (bool,),           # persisted to the on-disk store
+    },
+    "ckpt.restore": {
+        "position": (int,),
+        "store": (bool,),           # True: store hit; False: in-memory reuse
+    },
 }
 
 EVENT_KINDS: tuple[str, ...] = tuple(sorted(EVENT_SCHEMAS))

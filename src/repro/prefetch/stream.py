@@ -156,6 +156,41 @@ class StreamPrefetcher:
             self.record_issued(len(prefetches))
         return prefetches
 
+    # -- warm-state snapshots ----------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        """Complete engine state: every stream entry (in table order),
+        the LRU clock, the FDP ladder level and window counters, and the
+        stats — plain ints/bools, so it pickles and digests."""
+        st = self.stats
+        return (
+            tuple((s.last_line, s.direction, s.confidence, s.next_prefetch,
+                   s.active, s.lru)
+                  for s in self.streams),
+            self._lru_clock,
+            self._level,
+            (self._interval_issued, self._interval_useful,
+             self._interval_unused),
+            (st.issued, st.useful, st.evicted_unused, st.late,
+             st.throttle_ups, st.throttle_downs),
+        )
+
+    def restore(self, snap: tuple) -> None:
+        streams, lru_clock, level, interval, stats = snap
+        self.streams = [
+            _Stream(last_line, direction, confidence, next_prefetch,
+                    active=active, lru=lru)
+            for (last_line, direction, confidence, next_prefetch,
+                 active, lru) in streams
+        ]
+        self._lru_clock = lru_clock
+        self._level = level
+        (self._interval_issued, self._interval_useful,
+         self._interval_unused) = interval
+        st = self.stats
+        (st.issued, st.useful, st.evicted_unused, st.late,
+         st.throttle_ups, st.throttle_downs) = stats
+
     # -- FDP feedback ------------------------------------------------------------
 
     def record_issued(self, count: int) -> None:

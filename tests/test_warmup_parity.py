@@ -299,6 +299,60 @@ def test_warm_lane_state_parity_on_workloads(workload):
 
 
 # ---------------------------------------------------------------------------
+# Lane-equivalence gate (repro.fastpath.checkpoint): both fast-forward
+# lanes must materialize byte-identical warm-state snapshots at every
+# stride boundary.  This is strictly stronger than state parity above —
+# it pins the *canonical serialization* (snapshot_bytes), which is what
+# checkpoint keys and the content-addressed store hash.  A lane whose
+# snapshots drifted would silently split the store into per-lane chains.
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("workload", ["mcf", "libquantum"])
+def test_ff_lane_snapshots_byte_identical_at_stride_boundaries(workload):
+    from repro.fastpath import snapshot_bytes, snapshot_digest
+
+    stride = 10_000
+    boundaries = 5
+    wa = build_workload(workload)
+    wb = build_workload(workload)
+    jit = Processor(wa.program, build_named_config("baseline"),
+                    memory=wa.memory)
+    interp = Processor(wb.program, build_named_config("baseline"),
+                       memory=wb.memory)
+    assert (snapshot_bytes(jit.snapshot())
+            == snapshot_bytes(interp.snapshot())), "entry states differ"
+    for boundary in range(1, boundaries + 1):
+        assert jit.fast_forward(stride, lane="jit") == stride
+        assert interp.fast_forward(stride, lane="interp") == stride
+        a, b = jit.snapshot(), interp.snapshot()
+        assert snapshot_bytes(a) == snapshot_bytes(b), (
+            f"{workload}: lanes diverged at stride boundary {boundary} "
+            f"({snapshot_digest(a)[:12]} != {snapshot_digest(b)[:12]})")
+
+
+def test_ff_lane_snapshots_byte_identical_over_fuzz_corpus():
+    """Same gate over fuzz seeds (uneven strides, mid-block boundaries)."""
+    from repro.fastpath import snapshot_bytes
+
+    failures = []
+    for seed in range(0, PARITY_SEEDS, 8):
+        fa = build_fuzz_program(seed, target_insts=PARITY_TARGET_INSTS)
+        fb = build_fuzz_program(seed, target_insts=PARITY_TARGET_INSTS)
+        jit = Processor(fa.program, build_named_config("baseline"),
+                        memory=fa.memory())
+        interp = Processor(fb.program, build_named_config("baseline"),
+                           memory=fb.memory())
+        for chunk in JIT_CHUNKS:
+            jit.fast_forward(chunk, lane="jit")
+            interp.fast_forward(chunk, lane="interp")
+            if (snapshot_bytes(jit.snapshot())
+                    != snapshot_bytes(interp.snapshot())):
+                failures.append(f"seed {seed}: diverged after +{chunk}")
+                break
+    assert not failures, "\n".join(failures)
+
+
+# ---------------------------------------------------------------------------
 # Pre-fix-failing regressions.
 # ---------------------------------------------------------------------------
 
