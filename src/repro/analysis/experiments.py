@@ -49,6 +49,35 @@ DEFAULT_WARMUP = int(os.environ.get("REPRO_BENCH_WARMUP", "12000"))
 Cell = tuple[str, str, bool]
 
 
+def tier_suffix(tier: str, ramp: int, window: int, stride: int,
+                live_point: bool = False) -> str:
+    """Key suffix for non-default execution tiers; empty for fully
+    detailed cells so schema-2-shaped keys stay addressable.
+
+    ``.lp`` marks live-point (checkpointed) cells: their estimates are
+    statistically equivalent to plain two-level cells but not
+    bit-identical (windows restart from restored snapshots), so they
+    address different cache entries.  The fan-out width and store
+    directory are *not* in the suffix — results are byte-identical
+    across jobs and store temperature by construction.
+    """
+    if not tier or tier == "detailed":
+        return ""
+    lp = ".lp" if live_point else ""
+    return f"/{tier}.r{ramp}.w{window}.s{stride}{lp}"
+
+
+def cell_key(workload: str, config_name: str, chain_stats: bool,
+             instructions: int, warmup: int, suffix: str = "") -> str:
+    """The KEY_SCHEMA=3 cell key: every input that affects a cell's
+    stats, shared verbatim by :class:`ExperimentMatrix`, the farm's
+    result store, and remote clients (byte-equal keys are what make
+    cross-host cache hits sound)."""
+    variant = "+chains" if chain_stats else ""
+    return (f"{workload}/{config_name}{variant}"
+            f"/{instructions}/w{warmup}{suffix}")
+
+
 class ExperimentMatrix:
     """Lazily-populated result matrix with a JSON disk cache."""
 
@@ -93,38 +122,23 @@ class ExperimentMatrix:
         self.trace_dir = Path(trace_dir) if trace_dir else None
         self._results: dict[str, dict[str, Any]] = {}
         self._dirty = False
-        if self.cache_path is not None and self.cache_path.exists():
-            try:
-                payload = json.loads(self.cache_path.read_text())
-            except (OSError, json.JSONDecodeError):
-                payload = {}
-            if (payload.get("model_version") == MODEL_VERSION
-                    and payload.get("key_schema") == KEY_SCHEMA):
-                self._results = payload.get("results", {})
+        if self.cache_path is not None:
+            self._results = dict(self._disk_cells())
 
     # -- keys ------------------------------------------------------------------
 
     @property
     def _tier_suffix(self) -> str:
-        """Key suffix for non-default tiers; empty for fully detailed
-        matrices so existing schema-2-shaped keys stay addressable."""
         s = self.sampling
         if s is None or not s.is_sampled:
             return ""
-        # ".lp" marks live-point (checkpointed) cells: their estimates are
-        # statistically equivalent to plain two-level cells but not
-        # bit-identical (windows restart from restored snapshots), so
-        # they address different cache entries.  The fan-out width and
-        # store directory are *not* in the key — results are byte-
-        # identical across jobs and store temperature by construction.
-        lp = ".lp" if self._checkpointed else ""
-        return (f"/{s.tier}.r{s.ramp_instructions}"
-                f".w{s.window_instructions}.s{s.stride_instructions}{lp}")
+        return tier_suffix(s.tier, s.ramp_instructions,
+                           s.window_instructions, s.stride_instructions,
+                           live_point=self._checkpointed)
 
     def _key(self, workload: str, config_name: str, chain_stats: bool) -> str:
-        suffix = "+chains" if chain_stats else ""
-        return (f"{workload}/{config_name}{suffix}"
-                f"/{self.instructions}/w{self.warmup}{self._tier_suffix}")
+        return cell_key(workload, config_name, chain_stats,
+                        self.instructions, self.warmup, self._tier_suffix)
 
     def _lookup(self, workload: str, config_name: str,
                 chain_stats: bool) -> Optional[dict[str, Any]]:
@@ -293,10 +307,39 @@ class ExperimentMatrix:
 
     # -- persistence -------------------------------------------------------------------
 
+    def _disk_cells(self) -> dict[str, dict[str, Any]]:
+        """The on-disk result cells, or ``{}`` when the file is absent,
+        unreadable, or addressed by a stale model version / key schema
+        (stale cells are discarded wholesale — the current schema wins)."""
+        try:
+            payload = json.loads(self.cache_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}
+        if (not isinstance(payload, dict)
+                or payload.get("model_version") != MODEL_VERSION
+                or payload.get("key_schema") != KEY_SCHEMA):
+            return {}
+        results = payload.get("results", {})
+        return results if isinstance(results, dict) else {}
+
     def save(self) -> None:
         if self.cache_path is None or not self._dirty:
             return
         self.cache_path.parent.mkdir(parents=True, exist_ok=True)
+        # Concurrent-writer merge: another process sharing this
+        # cache_path may have flushed cells since our load — writing the
+        # whole file from our stale in-memory view would silently drop
+        # them (last-writer-wins).  Re-read the on-disk payload under
+        # the temp-file dance and fold its cells in; our own cells win
+        # per key (equal keys address equal deterministic results, and
+        # stale-schema payloads are dropped wholesale by _disk_cells).
+        # A racing writer can still land between this read and the
+        # replace below, but the exposure shrinks from the whole matrix
+        # run to the serialization itself — and every writer merges, so
+        # a lost cell costs one re-simulation, never a wrong result.
+        merged = self._disk_cells()
+        merged.update(self._results)
+        self._results = merged
         payload = {
             "model_version": MODEL_VERSION,
             "key_schema": KEY_SCHEMA,

@@ -105,7 +105,10 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return max(1, int(jobs))
 
 
-def _simulate_cell(spec: CellSpec) -> dict[str, Any]:
+def simulate_cell(spec: CellSpec) -> dict[str, Any]:
+    """Simulate one matrix cell (the worker entry point — also the farm
+    service's default runner, so cells computed remotely are byte-
+    identical to local ones)."""
     from ..config import SamplingConfig, build_named_config
     from ..core import simulate
 
@@ -228,7 +231,7 @@ def simulate_cells(
     progress: Optional[Callable[[CellSpec, int, int], None]] = None,
 ) -> list[dict[str, Any]]:
     """Simulate matrix cells across processes; stats dicts in cell order."""
-    return _fan_out(_simulate_cell, cells, jobs, progress)
+    return _fan_out(simulate_cell, cells, jobs, progress)
 
 
 def simulate_windows(

@@ -162,6 +162,10 @@ def _build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--instructions", type=int, default=None)
     suite.add_argument("--jobs", type=int, default=None,
                        help="worker processes (default: all cores)")
+    suite.add_argument("--remote", default=None, metavar="URL",
+                       help="simulate missing cells on a 'repro serve' "
+                            "farm instead of in-process (results and the "
+                            "on-disk cache are byte-identical either way)")
 
     bench = sub.add_parser(
         "bench-throughput",
@@ -250,6 +254,31 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--warmup", type=int, default=None)
     sweep.add_argument("--jobs", type=int, default=None,
                        help="worker processes (default: all cores)")
+    sweep.add_argument("--remote", default=None, metavar="URL",
+                       help="fetch the sweep table from a 'repro serve' "
+                            "farm instead of running it in-process")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the experiment farm: an HTTP service that coalesces "
+             "cell requests, shards them over a worker pool, and persists "
+             "results in a content-addressed store")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8077,
+                       help="listen port (0 binds an ephemeral port)")
+    serve.add_argument("--store", default="results/farm", metavar="DIR",
+                       help="result-store root directory ('' disables "
+                            "persistence; default: results/farm)")
+    serve.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: all cores)")
+    serve.add_argument("--instructions", type=int, default=None,
+                       help="default budget for figure/sweep/trace "
+                            "endpoints (cell requests carry their own)")
+    serve.add_argument("--warmup", type=int, default=None)
+    serve.add_argument("--batch-delay", type=float, default=0.05,
+                       metavar="SECONDS",
+                       help="admission window: how long to keep draining "
+                            "newly queued cells into the current batch")
 
     return parser
 
@@ -385,8 +414,13 @@ def _cmd_figure(args) -> int:
 
 def _cmd_suite(args) -> int:
     matrix = _matrix(args.instructions)
-    simulated = matrix.prefetch(figures.figure_matrix_cells(),
-                                jobs=args.jobs, progress=print_progress)
+    if args.remote:
+        from .farm import FarmClient
+        simulated = FarmClient(args.remote).prefetch_matrix(
+            matrix, figures.figure_matrix_cells(), progress=print_progress)
+    else:
+        simulated = matrix.prefetch(figures.figure_matrix_cells(),
+                                    jobs=args.jobs, progress=print_progress)
     if simulated:
         print(f"simulated {simulated} missing cells")
     for fig_id, (extractor, filename) in FIGURES.items():
@@ -546,6 +580,42 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    if args.remote:
+        from .analysis.report import Table
+        from .farm import FarmClient
+        doc = FarmClient(args.remote).sweep(
+            args.name, benches=args.benches,
+            instructions=args.instructions, warmup=args.warmup)
+        table = Table(title=doc["title"], headers=doc["headers"],
+                      rows=[tuple(row) for row in doc["rows"]],
+                      notes=list(doc["notes"]))
+    else:
+        table = run_named_sweep(args.name, benches=args.benches,
+                                instructions=args.instructions,
+                                warmup=args.warmup, jobs=args.jobs)
+    path = write_report(table, f"sweep_{args.name}.txt")
+    print(render(table))
+    print(f"\nwritten to {path}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from . import farm
+
+    try:
+        asyncio.run(farm.serve(
+            host=args.host, port=args.port,
+            store_dir=args.store or None, jobs=args.jobs,
+            instructions=args.instructions, warmup=args.warmup,
+            batch_delay=args.batch_delay))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -565,13 +635,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "sweep":
-        table = run_named_sweep(args.name, benches=args.benches,
-                                instructions=args.instructions,
-                                warmup=args.warmup, jobs=args.jobs)
-        path = write_report(table, f"sweep_{args.name}.txt")
-        print(render(table))
-        print(f"\nwritten to {path}")
-        return 0
+        return _cmd_sweep(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return 1
 
 

@@ -1,0 +1,79 @@
+"""The experiment farm: a shared cell-simulation service.
+
+``repro serve`` turns the repo's batch pipeline into a long-lived
+service: clients (``repro suite --remote``, ``repro sweep --remote``,
+or :class:`FarmClient` directly) request *(workload x config x budget x
+tier)* cells over HTTP, the farm deduplicates and coalesces identical
+in-flight requests into one matrix run, shards execution over the same
+process pool the local matrix uses, and persists every finished cell in
+a content-addressed :class:`ResultStore` keyed by the exact
+KEY_SCHEMA cell keys the :class:`~repro.analysis.ExperimentMatrix`
+derives — so a cell is simulated at most once per model version, no
+matter how many clients ask.
+
+Layering::
+
+    store.py     ResultStore + spec_cell_key   (disk, no asyncio)
+    service.py   FarmService / FarmJob         (asyncio, no HTTP)
+    http.py      FarmServer                    (stdlib HTTP front-end)
+    client.py    FarmClient                    (blocking, stdlib)
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from .client import FarmClient, FarmClientError
+from .http import FarmServer, HttpError, decode_spec
+from .service import FarmError, FarmJob, FarmService
+from .store import ResultStore, spec_cell_key
+
+__all__ = [
+    "FarmClient",
+    "FarmClientError",
+    "FarmError",
+    "FarmJob",
+    "FarmServer",
+    "FarmService",
+    "HttpError",
+    "ResultStore",
+    "decode_spec",
+    "serve",
+    "spec_cell_key",
+]
+
+
+async def serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    store_dir: Optional[str] = "results/farm",
+    jobs: Optional[int] = None,
+    instructions: Optional[int] = None,
+    warmup: Optional[int] = None,
+    batch_delay: float = 0.05,
+    ready: Optional["asyncio.Event"] = None,
+    announce=None,
+) -> None:
+    """Run the farm until cancelled (the ``repro serve`` entry point).
+
+    ``ready`` (if given) is set once the port is bound — tests and the
+    CI smoke job use it with ``port=0`` to grab the ephemeral port.
+    """
+    store = ResultStore(store_dir) if store_dir else None
+    service = FarmService(store=store, jobs=jobs, batch_delay=batch_delay)
+    server = FarmServer(service, host=host, port=port,
+                        instructions=instructions, warmup=warmup)
+    await server.start()
+    if announce is None:
+        def announce(message: str) -> None:
+            print(message, flush=True)
+    announce(f"repro farm listening on {server.url} "
+             f"(jobs={service.jobs}, "
+             f"store={store.version_dir if store else 'off'})")
+    if ready is not None:
+        ready.set()
+    try:
+        await server.serve_forever()
+    finally:
+        await server.close()

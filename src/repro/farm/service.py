@@ -1,0 +1,352 @@
+"""The farm service: an asyncio job queue over the simulation fan-out.
+
+One :class:`FarmService` owns four things:
+
+* an **in-flight table** mapping cell keys to futures, so identical
+  concurrent requests coalesce into exactly one simulation — the
+  "thundering herd of sweep requests becomes one matrix run" property
+  the roadmap asks for;
+* an **admission queue** drained in batches: every cell queued while a
+  batch was being formed is admitted together (and the batch id is
+  visible on the ``farm.admitted`` events), so a burst of requests is
+  one admission, not N;
+* a **worker pool** (the same :mod:`repro.analysis.parallel` cell runner
+  the local matrix uses, over a ``ProcessPoolExecutor``) — a worker
+  crash marks the pool broken, the pool is rebuilt, and the cell goes
+  back on the admission queue (``farm.requeued``) instead of wedging
+  its in-flight entry;
+* the **result store** (:class:`~repro.farm.store.ResultStore`) plus an
+  in-memory memo, consulted before anything is queued.
+
+Event emission is validated against
+:data:`repro.obs.events.FARM_EVENT_SCHEMAS`; counters are collected by
+:func:`repro.obs.metrics.farm_registry`.
+
+Waiters are isolated from each other: a client disconnect cancels only
+that client's wait (``asyncio.shield``), never the shared run, and a
+failed cell clears its in-flight entry so the next request retries
+fresh.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from ..analysis.parallel import CellSpec, resolve_jobs, simulate_cell
+from ..obs import validate_farm_event
+from .store import ResultStore, spec_cell_key
+
+#: Completed jobs kept around for late result fetches / event streams.
+_JOB_HISTORY = 64
+
+
+class FarmError(RuntimeError):
+    """A cell failed permanently (worker crashes exhausted the retry
+    budget, or the simulation itself raised)."""
+
+
+@dataclass
+class FarmJob:
+    """One client request: a set of cells plus its own event stream."""
+
+    id: str
+    cells: list[str]
+    queue: "asyncio.Queue[dict[str, Any]]"
+    results: Optional[list[dict[str, Any]]] = None
+    error: Optional[str] = None
+    done: bool = False
+    task: Optional["asyncio.Task"] = field(default=None, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.done and self.error is None
+
+
+class FarmService:
+    """Coalescing, store-backed cell-simulation service (single loop)."""
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        jobs: Optional[int] = None,
+        runner: Callable[[CellSpec], dict[str, Any]] = simulate_cell,
+        executor_factory: Optional[Callable[[], Any]] = None,
+        max_attempts: int = 3,
+        batch_delay: float = 0.0,
+    ) -> None:
+        self.store = store
+        self.jobs = resolve_jobs(jobs)
+        self.max_attempts = max(1, max_attempts)
+        # batch_delay > 0 widens the admission window: the drain waits
+        # that long after the first queued cell so a herd arriving over
+        # a few milliseconds still admits as one batch.  0 drains
+        # whatever the current loop iteration queued.
+        self.batch_delay = batch_delay
+        self._runner = runner
+        self._executor_factory = executor_factory
+        self._executor: Optional[Any] = None
+        self._memo: dict[str, dict[str, Any]] = {}
+        self._inflight: dict[str, "asyncio.Future"] = {}
+        self._queue: Optional["asyncio.Queue"] = None
+        self._admission: Optional["asyncio.Task"] = None
+        self._tasks: set["asyncio.Task"] = set()
+        self._subscribers: set["asyncio.Queue"] = set()
+        self._jobs: dict[str, FarmJob] = {}
+        self._job_seq = 0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        # Counters (see repro.obs.metrics.farm_registry).
+        self.requests = 0
+        self.memo_hits = 0
+        self.store_hits = 0
+        self.coalesced = 0
+        self.admitted = 0
+        self.batches = 0
+        self.requeues = 0
+        self.completed = 0
+        self.failures = 0
+
+    # -- registry-facing accounting -------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    @property
+    def result_store_hits(self) -> int:
+        return self.store.hits if self.store is not None else 0
+
+    @property
+    def result_store_misses(self) -> int:
+        return self.store.misses if self.store is not None else 0
+
+    @property
+    def result_store_puts(self) -> int:
+        return self.store.puts if self.store is not None else 0
+
+    def metrics(self) -> dict[str, int]:
+        from ..obs import farm_registry
+        return farm_registry().collect(self)
+
+    # -- events ------------------------------------------------------------------
+
+    def subscribe(self) -> "asyncio.Queue[dict[str, Any]]":
+        """A queue receiving every farm event from now on.  Dropping a
+        subscription (:meth:`unsubscribe`) never affects the runs the
+        events describe."""
+        queue: "asyncio.Queue[dict[str, Any]]" = asyncio.Queue()
+        self._subscribers.add(queue)
+        return queue
+
+    def unsubscribe(self, queue: "asyncio.Queue") -> None:
+        self._subscribers.discard(queue)
+
+    def _emit(self, kind: str, **payload: Any) -> None:
+        event = {"event": kind, **payload}
+        validate_farm_event(event)
+        for queue in self._subscribers:
+            queue.put_nowait(event)
+
+    # -- the cell path -----------------------------------------------------------
+
+    def _ensure_running(self) -> None:
+        loop = asyncio.get_running_loop()
+        if self._loop is None:
+            self._loop = loop
+        elif self._loop is not loop:
+            raise RuntimeError("FarmService is bound to another event loop")
+        if self._queue is None:
+            self._queue = asyncio.Queue()
+        if self._admission is None or self._admission.done():
+            self._admission = loop.create_task(self._admission_loop())
+
+    def _get_executor(self):
+        if self._executor is None:
+            if self._executor_factory is not None:
+                self._executor = self._executor_factory()
+            else:
+                # spawn, not fork: pool workers are created lazily, i.e.
+                # while client sockets are open.  A forked worker would
+                # inherit duplicates of those fds and keep them for the
+                # pool's lifetime, so a streaming client would never see
+                # the server's FIN after ``Connection: close``.  spawn'd
+                # workers (exec) inherit no sockets (PEP 446).
+                import multiprocessing
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.jobs,
+                    mp_context=multiprocessing.get_context("spawn"))
+        return self._executor
+
+    def _discard_executor(self) -> None:
+        """Drop a broken pool; the next admission rebuilds a fresh one."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    async def cell(self, spec: CellSpec) -> dict[str, Any]:
+        """Stats for one cell: memo, store, in-flight coalesce, or a
+        fresh admission — in that order.  Plain cells are also served by
+        a ``+chains`` superset (same timing, strictly more fields),
+        mirroring :meth:`ExperimentMatrix._lookup`."""
+        self._ensure_running()
+        self.requests += 1
+        key = spec_cell_key(spec)
+        probes = [key]
+        if not spec.chain_stats:
+            probes.append(spec_cell_key(spec._replace(chain_stats=True)))
+        for probe in probes:
+            stats = self._memo.get(probe)
+            if stats is not None:
+                self.memo_hits += 1
+                self._emit("farm.hit", cell=probe, source="memo")
+                return stats
+        if self.store is not None:
+            for probe in probes:
+                stats = self.store.get(probe)
+                if stats is not None:
+                    self.store_hits += 1
+                    self._memo[probe] = stats
+                    self._emit("farm.hit", cell=probe, source="store")
+                    return stats
+        for probe in probes:
+            fut = self._inflight.get(probe)
+            if fut is not None:
+                self.coalesced += 1
+                self._emit("farm.coalesced", cell=probe)
+                return await asyncio.shield(fut)
+        fut = self._loop.create_future()
+        self._inflight[key] = fut
+        self.admitted += 1
+        self._queue.put_nowait((key, spec, 1))
+        self._emit("farm.queued", cell=key)
+        # shield: cancelling a waiter (client disconnect) must cancel
+        # only the wait, never the shared in-flight future.
+        return await asyncio.shield(fut)
+
+    async def request_cells(self, specs: Sequence[CellSpec],
+                            ) -> list[dict[str, Any]]:
+        """Stats for every spec, in spec order."""
+        self._ensure_running()
+        return list(await asyncio.gather(*(self.cell(s) for s in specs)))
+
+    # -- admission / execution -------------------------------------------------
+
+    async def _admission_loop(self) -> None:
+        while True:
+            batch = [await self._queue.get()]
+            if self.batch_delay > 0:
+                await asyncio.sleep(self.batch_delay)
+            while True:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            self.batches += 1
+            batch_id = self.batches
+            for key, spec, attempt in batch:
+                self._emit("farm.admitted", cell=key, batch=batch_id)
+                task = self._loop.create_task(
+                    self._execute(key, spec, attempt))
+                self._tasks.add(task)
+                task.add_done_callback(self._tasks.discard)
+
+    async def _execute(self, key: str, spec: CellSpec, attempt: int) -> None:
+        fut = self._inflight.get(key)
+        if fut is None or fut.done():
+            return
+        try:
+            stats = await self._loop.run_in_executor(
+                self._get_executor(), self._runner, spec)
+        except BrokenExecutor:
+            # Worker crashed mid-cell.  The pool is unusable: rebuild it
+            # and return the cell to the admission queue — the in-flight
+            # entry (and every coalesced waiter) stays live.
+            self._discard_executor()
+            if attempt < self.max_attempts:
+                self.requeues += 1
+                self._emit("farm.requeued", cell=key, attempt=attempt)
+                self._queue.put_nowait((key, spec, attempt + 1))
+                return
+            self._fail(key, fut, FarmError(
+                f"cell {key}: worker crashed {attempt} time(s)"))
+            return
+        except Exception as exc:  # deterministic failure: no retry
+            self._fail(key, fut, exc)
+            return
+        self._memo[key] = stats
+        if self.store is not None:
+            try:
+                self.store.put(key, stats)
+            except OSError:
+                pass  # serving beats persistence: degrade to memo-only
+        self._inflight.pop(key, None)
+        self.completed += 1
+        self._emit("farm.done", cell=key, attempts=attempt)
+        if not fut.done():
+            fut.set_result(stats)
+
+    def _fail(self, key: str, fut: "asyncio.Future", exc: Exception) -> None:
+        """Permanent failure: clear the in-flight entry (so the next
+        request retries fresh — no wedged key) and fail the waiters."""
+        self._inflight.pop(key, None)
+        self.failures += 1
+        self._emit("farm.error", cell=key, message=str(exc))
+        if not fut.done():
+            fut.set_exception(exc)
+            fut.exception()  # mark retrieved: waiters may already be gone
+
+    # -- jobs --------------------------------------------------------------------
+
+    def submit_job(self, specs: Sequence[CellSpec]) -> FarmJob:
+        """Start a job for ``specs`` and return immediately; the job's
+        queue streams its cells' events and ends with ``farm.job_done``."""
+        self._ensure_running()
+        self._job_seq += 1
+        job = FarmJob(id=f"job-{self._job_seq}",
+                      cells=[spec_cell_key(s) for s in specs],
+                      queue=self.subscribe())
+        self._jobs[job.id] = job
+        job.task = self._loop.create_task(self._run_job(job, list(specs)))
+        return job
+
+    async def _run_job(self, job: FarmJob, specs: list[CellSpec]) -> None:
+        try:
+            job.results = await self.request_cells(specs)
+        except Exception as exc:
+            job.error = str(exc)
+        job.done = True
+        self._emit("farm.job_done", job=job.id, cells=len(job.cells),
+                   ok=job.error is None)
+        self._trim_jobs()
+
+    def _trim_jobs(self) -> None:
+        while len(self._jobs) > _JOB_HISTORY:
+            oldest = next(iter(self._jobs))
+            self.unsubscribe(self._jobs.pop(oldest).queue)
+
+    def get_job(self, job_id: str) -> Optional[FarmJob]:
+        return self._jobs.get(job_id)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def close(self) -> None:
+        """Stop admission, cancel running cells, fail pending waiters."""
+        if self._admission is not None:
+            self._admission.cancel()
+            try:
+                await self._admission
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._admission = None
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        for key, fut in list(self._inflight.items()):
+            if not fut.done():
+                fut.set_exception(FarmError("farm service closed"))
+                fut.exception()
+        self._inflight.clear()
+        self._discard_executor()

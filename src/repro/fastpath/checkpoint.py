@@ -149,27 +149,69 @@ class CheckpointStore:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.ckpt"
 
+    @classmethod
+    def _decode(cls, blob: bytes) -> Optional[dict]:
+        """The snapshot inside one entry's bytes, or ``None`` when the
+        blob is truncated, corrupt, foreign, or wrong-schema."""
+        try:
+            payload = pickle.loads(blob)
+        except Exception:
+            return None
+        if (not isinstance(payload, tuple) or len(payload) != 3
+                or payload[0] != cls._MAGIC or payload[1] != CKPT_SCHEMA):
+            return None
+        return payload[2]
+
     def load(self, key: str) -> Optional[dict]:
         """The stored snapshot for ``key``, or ``None`` on a miss."""
         path = self._path(key)
         try:
-            payload = pickle.loads(path.read_bytes())
-        except FileNotFoundError:
+            blob = path.read_bytes()
+        except OSError:
             self.misses += 1
             return None
-        except Exception:
-            # Truncated/corrupt/foreign file: treat as a miss and drop it
-            # so the next save rewrites a clean entry.
-            path.unlink(missing_ok=True)
-            self.misses += 1
-            return None
-        if (not isinstance(payload, tuple) or len(payload) != 3
-                or payload[0] != self._MAGIC or payload[1] != CKPT_SCHEMA):
-            path.unlink(missing_ok=True)
+        snap = self._decode(blob)
+        if snap is None:
+            # Truncated/corrupt/foreign/stale entry: evict it so the
+            # next save rewrites a clean one.  Eviction may recover a
+            # concurrent writer's fresh entry instead (see _evict).
+            snap = self._evict(path)
+        if snap is None:
             self.misses += 1
             return None
         self.hits += 1
-        return payload[2]
+        return snap
+
+    def _evict(self, path: Path) -> Optional[dict]:
+        """Remove a corrupt/stale entry without destroying a concurrent
+        writer's fresh replacement.
+
+        A bare ``unlink`` here races two ways under parallel window jobs
+        (``--window-jobs``): two workers evicting the same stale entry
+        race each other to the delete, and — worse — a peer's ``save``
+        can atomically replace the corrupt file between our read and our
+        delete, so the unlink would destroy the *good* entry (a lost
+        update).  Instead the entry is claimed by an atomic rename to a
+        per-process name: exactly one evictor wins (losers see the
+        rename fail and count a plain miss), and the claimed bytes are
+        re-checked — if a concurrent save already replaced the corrupt
+        entry, the claimed file is the fresh valid one, so it is put
+        back (equal keys address equal states, so the replace is
+        harmless) and returned as a hit."""
+        claimed = path.with_name(f"{path.name}.evict.{os.getpid()}")
+        try:
+            os.rename(path, claimed)
+        except OSError:
+            return None  # a peer already evicted (or replaced+evicted) it
+        try:
+            snap = self._decode(claimed.read_bytes())
+        except OSError:
+            return None
+        if snap is None:
+            claimed.unlink(missing_ok=True)
+            return None
+        os.replace(claimed, path)
+        return snap
 
     def save(self, key: str, snap: dict) -> None:
         """Persist one snapshot (atomic; last writer wins with identical

@@ -20,9 +20,10 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Optional
 
-from .events import EVENT_KINDS, EVENT_SCHEMAS, EventTrace, TraceEvent, \
-    validate_event
-from .metrics import Metric, MetricsRegistry, default_registry
+from .events import EVENT_KINDS, EVENT_SCHEMAS, FARM_EVENT_KINDS, \
+    FARM_EVENT_SCHEMAS, EventTrace, TraceEvent, validate_event, \
+    validate_farm_event
+from .metrics import Metric, MetricsRegistry, default_registry, farm_registry
 from .perfetto import export_perfetto, write_perfetto
 from .sampler import OccupancySample, OccupancySampler
 from .tracer import Tracer
@@ -31,6 +32,8 @@ __all__ = [
     "EVENT_KINDS",
     "EVENT_SCHEMAS",
     "EventTrace",
+    "FARM_EVENT_KINDS",
+    "FARM_EVENT_SCHEMAS",
     "Metric",
     "MetricsRegistry",
     "OccupancySample",
@@ -40,8 +43,10 @@ __all__ = [
     "Tracer",
     "default_registry",
     "export_perfetto",
+    "farm_registry",
     "run_traced",
     "validate_event",
+    "validate_farm_event",
     "write_perfetto",
 ]
 

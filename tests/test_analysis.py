@@ -235,3 +235,113 @@ class TestComparisonExport:
         table_metrics = set(figures.PAPER_HEADLINES)
         assert "rab_cc energy %" in table_metrics
         assert len(table_metrics) == 11
+
+
+class TestConcurrentWriters:
+    """ExperimentMatrix.save() must merge with cells a concurrent writer
+    flushed since this matrix loaded the cache — plain read-once/
+    write-whole persistence silently drops the loser's cells."""
+
+    def _pair(self, tmp_path):
+        path = tmp_path / "cache.json"
+        a = ExperimentMatrix(instructions=400, warmup=500, cache_path=path)
+        b = ExperimentMatrix(instructions=400, warmup=500, cache_path=path)
+        return path, a, b
+
+    def test_two_writers_disjoint_cells_both_survive(self, tmp_path):
+        path, a, b = self._pair(tmp_path)
+        a.store("calculix", "baseline", False, {"ipc": 1.0})
+        b.store("calculix", "runahead", False, {"ipc": 2.0})
+        a.save()
+        b.save()  # loaded before a.save(): must merge, not overwrite
+        merged = ExperimentMatrix(instructions=400, warmup=500,
+                                  cache_path=path)
+        assert merged._lookup("calculix", "baseline", False) == {"ipc": 1.0}
+        assert merged._lookup("calculix", "runahead", False) == {"ipc": 2.0}
+
+    def test_save_folds_peer_cells_into_memory_too(self, tmp_path):
+        path, a, b = self._pair(tmp_path)
+        a.store("calculix", "baseline", False, {"ipc": 1.0})
+        a.save()
+        b.store("calculix", "runahead", False, {"ipc": 2.0})
+        b.save()
+        # b's in-memory view now includes a's flushed cell as well.
+        assert b._lookup("calculix", "baseline", False) == {"ipc": 1.0}
+
+    def test_own_cell_wins_over_disk_on_conflict(self, tmp_path):
+        path, a, b = self._pair(tmp_path)
+        a.store("calculix", "baseline", False, {"ipc": 1.0})
+        a.save()
+        b.store("calculix", "baseline", False, {"ipc": 9.0})
+        b.save()
+        merged = ExperimentMatrix(instructions=400, warmup=500,
+                                  cache_path=path)
+        assert merged._lookup("calculix", "baseline", False) == {"ipc": 9.0}
+
+    def test_merge_ignores_stale_schema_payloads(self, tmp_path):
+        path = tmp_path / "cache.json"
+        a = ExperimentMatrix(instructions=400, warmup=500, cache_path=path)
+        a.store("calculix", "baseline", False, {"ipc": 1.0})
+        path.write_text(json.dumps({"model_version": -1,
+                                    "results": {"stale": {}}}))
+        a.save()
+        merged = ExperimentMatrix(instructions=400, warmup=500,
+                                  cache_path=path)
+        assert "stale" not in merged._results
+        assert merged._lookup("calculix", "baseline", False) == {"ipc": 1.0}
+
+
+class TestHostKeyScrub:
+    """REPRO_FF_LANE (and the other host-environment knobs) must never
+    leak into cell keys or cached payloads: lanes are byte-identical by
+    the lane-identity gate, so cached cells must be lane-agnostic."""
+
+    def _cache_bytes(self, tmp_path, monkeypatch, lane):
+        from repro.config import SamplingConfig
+        monkeypatch.setenv("REPRO_FF_LANE", lane)
+        path = tmp_path / f"{lane}.json"
+        plan = SamplingConfig(tier="two-level", ramp_instructions=100,
+                              window_instructions=200,
+                              stride_instructions=1000)
+        matrix = ExperimentMatrix(instructions=3000, warmup=1000,
+                                  cache_path=path, sampling=plan)
+        matrix.get("calculix", "baseline")
+        matrix.save()
+        return path.read_bytes()
+
+    def test_ff_lane_env_never_reaches_cache(self, tmp_path, monkeypatch):
+        jit = self._cache_bytes(tmp_path, monkeypatch, "jit")
+        interp = self._cache_bytes(tmp_path, monkeypatch, "interp")
+        assert b"ff_lane" not in jit
+        assert b"jit" not in jit.replace(b"calculix", b"")
+        assert jit == interp  # byte-identical payload across lanes
+
+    def test_ff_lane_env_never_reaches_cell_keys(self, monkeypatch):
+        from repro.config import SamplingConfig
+        plan = SamplingConfig(tier="two-level", ramp_instructions=100,
+                              window_instructions=200,
+                              stride_instructions=1000)
+        keys = []
+        for lane in ("jit", "interp"):
+            monkeypatch.setenv("REPRO_FF_LANE", lane)
+            matrix = ExperimentMatrix(instructions=3000, warmup=1000,
+                                      cache_path=None, sampling=plan)
+            keys.append(matrix._key("calculix", "baseline", False))
+        assert keys[0] == keys[1]
+        assert "lane" not in keys[0]
+
+    def test_cacheable_sampling_scrubs_host_keys_recursively(self):
+        from repro.analysis.experiments import _cacheable_sampling
+        meta = {
+            "windows": 3,
+            "ff_lane": "jit",
+            "ff_seconds": 1.25,
+            "estimates": {"ipc": 0.5},
+            "checkpoints": {"count": 2, "jobs": 4, "store_hits": 1,
+                            "store_misses": 2, "checkpoint_seconds": 0.1},
+        }
+        assert _cacheable_sampling(meta) == {
+            "windows": 3,
+            "estimates": {"ipc": 0.5},
+            "checkpoints": {"count": 2},
+        }

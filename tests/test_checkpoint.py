@@ -402,3 +402,93 @@ class TestMerge:
         b = self._payload(cycles=7, squashed_uops=5)
         ab, ba = merge_window_stats([a, b]), merge_window_stats([b, a])
         assert ab.cycles == ba.cycles and ab.squashed_uops == ba.squashed_uops
+
+
+# ---------------------------------------------------------------------------
+# Eviction under concurrency (--window-jobs workers sharing a store)
+# ---------------------------------------------------------------------------
+
+class TestEvictionRace:
+    """Corrupt-entry eviction must use claim-by-rename missing-file-is-a-
+    miss semantics: with parallel window jobs, a bare unlink can race a
+    peer's atomic rewrite and destroy the *valid* entry (lost update),
+    and two evictors can race each other on the delete."""
+
+    def _entry(self, tmp_path):
+        proc = _processor()
+        proc.warm_up(8_000)
+        snap = proc.snapshot()
+        store = CheckpointStore(tmp_path)
+        key = checkpoint_key(proc.program, proc.config, "base", 8_000)
+        return store, key, snap
+
+    def test_eviction_preserves_concurrent_valid_rewrite(self, tmp_path):
+        store, key, snap = self._entry(tmp_path)
+        store.save(key, snap)
+        path = store._path(key)
+        # The moment under test: this process read corrupt bytes and
+        # decided to evict, but a peer's save() already replaced the
+        # file with a fresh valid entry.  The eviction must recover the
+        # peer's entry, not delete it.
+        recovered = store._evict(path)
+        assert recovered is not None
+        assert snapshot_bytes(recovered) == snapshot_bytes(snap)
+        assert path.exists()
+        assert CheckpointStore(tmp_path).load(key) is not None
+
+    def test_racing_evictors_miss_quietly(self, tmp_path):
+        store, key, snap = self._entry(tmp_path)
+        store.save(key, snap)
+        path = store._path(key)
+        path.write_bytes(b"corrupt")
+        winner = CheckpointStore(tmp_path)
+        loser = CheckpointStore(tmp_path)
+        assert winner.load(key) is None          # claims and removes
+        assert not path.exists()
+        assert loser.load(key) is None           # entry gone: plain miss
+        assert loser.misses == 1
+        # The slot is reusable immediately after.
+        store.save(key, snap)
+        assert store.load(key) is not None
+
+    def test_concurrent_eviction_stress(self, tmp_path):
+        """Many workers loading/saving/corrupting one key concurrently:
+        no exceptions, no lingering claim files, and the surviving entry
+        (if any) is valid."""
+        import threading
+
+        store, key, snap = self._entry(tmp_path)
+        store.save(key, snap)
+        path = store._path(key)
+        errors = []
+
+        def hammer(worker: int) -> None:
+            local = CheckpointStore(tmp_path)
+            try:
+                for i in range(30):
+                    if worker == 0 and i % 3 == 0:
+                        try:
+                            path.write_bytes(b"corrupt")
+                        except OSError:
+                            pass
+                    elif worker == 1 and i % 5 == 0:
+                        local.save(key, snap)
+                    loaded = local.load(key)
+                    if loaded is not None:
+                        assert snapshot_bytes(loaded) == snapshot_bytes(snap)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(n,))
+                   for n in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        assert errors == []
+        leftovers = [p for p in path.parent.iterdir()
+                     if ".evict." in p.name or ".tmp." in p.name]
+        assert leftovers == []
+        final = CheckpointStore(tmp_path)
+        final.save(key, snap)
+        assert snapshot_bytes(final.load(key)) == snapshot_bytes(snap)

@@ -125,3 +125,20 @@ def test_trace_unknown_event_kind_rejected(capsys):
         main(["trace", "mcf", "--events", "bogus_kind"])
     assert exc.value.code == 2
     assert "invalid choice" in capsys.readouterr().err
+
+
+def test_serve_rejects_bad_port():
+    with pytest.raises(SystemExit):
+        main(["serve", "--port", "lots"])
+
+
+def test_sweep_remote_unreachable_raises():
+    # Nothing listens on port 1; the client must surface the failure
+    # instead of silently falling back to an in-process sweep.
+    with pytest.raises(OSError):
+        main(["sweep", "buffer-size", "--remote", "http://127.0.0.1:1"])
+
+
+def test_suite_remote_rejects_bad_scheme():
+    with pytest.raises(ValueError):
+        main(["suite", "--remote", "ftp://example.com"])
