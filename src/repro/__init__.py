@@ -33,6 +33,13 @@ from .config import (
 )
 from .core import Processor, SimStats, SimulationResult, simulate
 from .energy import EnergyModel, EnergyReport
+from .multicore import (
+    CoreSpec,
+    MulticoreResult,
+    System,
+    simulate_multicore,
+    trace_multicore,
+)
 from .isa import DataMemory, Instruction, Interpreter, Opcode, Program, \
     ProgramBuilder
 from .workloads import (
@@ -49,6 +56,7 @@ __all__ = [
     "BranchPredictorConfig",
     "CacheConfig",
     "CoreConfig",
+    "CoreSpec",
     "DataMemory",
     "DramConfig",
     "EnergyConfig",
@@ -56,6 +64,7 @@ __all__ = [
     "EnergyReport",
     "Instruction",
     "Interpreter",
+    "MulticoreResult",
     "Opcode",
     "PrefetcherConfig",
     "Processor",
@@ -65,6 +74,7 @@ __all__ = [
     "RunaheadMode",
     "SimStats",
     "SimulationResult",
+    "System",
     "SystemConfig",
     "Workload",
     "build_named_config",
@@ -73,6 +83,8 @@ __all__ = [
     "make_config",
     "medium_high_names",
     "simulate",
+    "simulate_multicore",
+    "trace_multicore",
     "workload_names",
     "__version__",
 ]

@@ -48,7 +48,7 @@ from ..isa.uop import (
     CLS_STORE,
     NUM_UOP_CLASSES,
 )
-from ..memory import MemoryHierarchy
+from ..memory import MemoryHierarchy, SharedHierarchyError
 from ..runahead import (
     ChainCache,
     ChainUop,
@@ -73,6 +73,7 @@ class Processor:
         config: Optional[SystemConfig] = None,
         memory: Optional[DataMemory] = None,
         init_regs: Optional[list[int]] = None,
+        hierarchy: Optional[MemoryHierarchy] = None,
     ) -> None:
         if config is None:
             from ..config import default_system
@@ -84,7 +85,12 @@ class Processor:
 
         core = config.core
         self.width = core.width
-        self.hierarchy = MemoryHierarchy(config)
+        # A caller (repro.multicore) may pass a hierarchy wired to a
+        # shared LLC/DRAM complex; standalone construction keeps the
+        # legacy private hierarchy, bit-identical to the golden grid.
+        self.hierarchy = (hierarchy if hierarchy is not None
+                          else MemoryHierarchy(config))
+        self.core_id = self.hierarchy.core_id
         self.predictor = BranchPredictor(config.branch)
         self.fetch = FetchUnit(program, self.predictor, self.hierarchy, core)
 
@@ -294,6 +300,12 @@ class Processor:
             resolve_ff_lane,
         )
         lane = resolve_ff_lane(lane, self.ff_lane)
+        if lane == "jit" and self.hierarchy.is_shared:
+            # The jit lane's flattened warm helpers back-invalidate only
+            # this core's L1s on clean LLC evictions; with a shared LLC
+            # that would leave stale lines in sibling L1s.  The interp
+            # lane routes through SharedLLC._on_evict, which is correct.
+            lane = "interp"
         if self.halted or instructions <= 0:
             return 0
         self.sync_architectural()
@@ -371,7 +383,16 @@ class Processor:
         interval history) are deliberately *not* part of the format:
         a restored processor measures from zero, which is what the
         live-point engine's per-window delta merge needs.
+
+        Refuses shared-hierarchy cores: the hierarchy snapshot assumes
+        sole ownership of the LLC/DRAM/prefetcher state, and capturing a
+        shared complex per-core would alias it into N checkpoints.
         """
+        if self.hierarchy.is_shared:
+            raise SharedHierarchyError(
+                "Processor.snapshot() requires a private memory "
+                "hierarchy; core %d shares its LLC/DRAM complex"
+                % self.core_id)
         pc = self.sync_architectural()
         return {
             "pc": pc,
@@ -396,7 +417,15 @@ class Processor:
         interval history — keeps its current values, so restoring onto a
         fresh processor yields a measure-from-zero replica of the
         snapshotted architectural + warm state.
+
+        Like :meth:`snapshot`, refuses shared-hierarchy cores — a
+        restore would clobber LLC/DRAM state other cores are using.
         """
+        if self.hierarchy.is_shared:
+            raise SharedHierarchyError(
+                "Processor.restore() requires a private memory "
+                "hierarchy; core %d shares its LLC/DRAM complex"
+                % self.core_id)
         self.sync_architectural()
         self.memory._words = dict(snap["memory"])
         self.memory.default_fill = snap["memory_fill"]
@@ -1324,22 +1353,41 @@ class Processor:
         s.l1d_accesses = h.l1d.stats.accesses
         s.l1d_misses = h.l1d.stats.misses
         s.l1i_accesses = h.l1i.stats.accesses
-        s.llc_accesses = h.llc.stats.accesses
-        s.llc_hits = h.llc.stats.hits
-        s.llc_demand_misses = h.demand_llc_misses()
-        s.llc_misses_by_kind = dict(h.llc_misses)
-        # DRAM.
-        d = h.controller.stats
-        s.dram_reads = d.reads
-        s.dram_writes = d.writes
-        s.dram_row_hits = d.row_hits
-        s.dram_row_conflicts = d.row_conflicts
-        s.dram_activates = d.activates
-        s.dram_by_kind = dict(d.by_kind)
-        # Prefetcher.
-        if h.prefetcher is not None:
-            s.prefetches_issued = h.prefetcher.stats.issued
-            s.prefetches_useful = h.prefetcher.stats.useful
+        if h.is_shared:
+            # Shared LLC/DRAM complex: the Cache/Dram stats objects mix
+            # every connected core, so this core's SimStats read its
+            # CoreAccount slice instead.  Row-buffer behaviour is a
+            # property of the shared banks, not of one core — those
+            # fields stay 0 here and are reported at the System level.
+            a = h._acct
+            s.llc_accesses = a.accesses
+            s.llc_hits = a.hits
+            llc_fill_hits = a.fill_hits
+            s.llc_demand_misses = h.demand_llc_misses()
+            s.llc_misses_by_kind = dict(h.llc_misses)
+            s.dram_reads = a.dram_reads
+            s.dram_writes = a.dram_writes
+            s.dram_by_kind = dict(a.dram_by_kind)
+            if h.prefetcher is not None:
+                s.prefetches_issued = a.prefetches_issued
+        else:
+            s.llc_accesses = h.llc.stats.accesses
+            s.llc_hits = h.llc.stats.hits
+            llc_fill_hits = h.llc.stats.fill_hits
+            s.llc_demand_misses = h.demand_llc_misses()
+            s.llc_misses_by_kind = dict(h.llc_misses)
+            # DRAM.
+            d = h.controller.stats
+            s.dram_reads = d.reads
+            s.dram_writes = d.writes
+            s.dram_row_hits = d.row_hits
+            s.dram_row_conflicts = d.row_conflicts
+            s.dram_activates = d.activates
+            s.dram_by_kind = dict(d.by_kind)
+            # Prefetcher.
+            if h.prefetcher is not None:
+                s.prefetches_issued = h.prefetcher.stats.issued
+                s.prefetches_useful = h.prefetcher.stats.useful
         # Runahead.
         policy = self.ra_policy
         s.runahead_intervals = policy.interval_count()
@@ -1388,7 +1436,7 @@ class Processor:
         s.fetched_uops = self._ev_fetch
         events["l1d_access"] = s.l1d_accesses
         events["l1i_access"] = s.l1i_accesses
-        events["llc_access"] = s.llc_accesses + h.llc.stats.fill_hits
+        events["llc_access"] = s.llc_accesses + llc_fill_hits
         events["dram_access"] = s.dram_reads + s.dram_writes
         events["dram_activate"] = s.dram_activates
         s.energy_events = events

@@ -35,7 +35,8 @@ from typing import Any, Optional
 from ..analysis.experiments import (ExperimentMatrix, KEY_SCHEMA,
                                     MODEL_VERSION)
 from ..analysis.parallel import CellSpec
-from ..config import CONFIG_BUILDERS, SAMPLING_TIERS, SamplingConfig
+from ..config import (CONFIG_BUILDERS, SAMPLING_TIERS, SHARE_CHOICES,
+                      SamplingConfig)
 from ..workloads import workload_names
 from .service import FarmJob, FarmService
 from .store import spec_cell_key
@@ -69,7 +70,10 @@ def decode_spec(obj: Any) -> CellSpec:
     merged["window_jobs"] = 0
     merged["checkpoint_dir"] = ""
     spec = CellSpec(**merged)
-    if spec.workload not in workload_names():
+    if spec.workload not in workload_names() and not (
+            spec.workloads and spec.workload == ""):
+        # Multi-core specs may leave `workload` empty and carry the
+        # per-core list in `workloads` (validated below).
         raise HttpError(400, f"unknown workload {spec.workload!r}")
     if spec.config_name not in CONFIG_BUILDERS:
         raise HttpError(400, f"unknown config {spec.config_name!r}")
@@ -90,6 +94,26 @@ def decode_spec(obj: Any) -> CellSpec:
             plan.validate()
         except ValueError as exc:
             raise HttpError(400, f"bad sampling plan: {exc}") from None
+    if type(spec.cores) is not int or not 1 <= spec.cores <= 8:
+        raise HttpError(400, "cores must be an integer in 1..8")
+    if spec.share not in SHARE_CHOICES:
+        raise HttpError(400, f"share must be one of {SHARE_CHOICES}")
+    if spec.cores > 1:
+        if spec.tier != "detailed":
+            raise HttpError(400, "multi-core cells are detailed-tier only")
+        if spec.chain_stats:
+            raise HttpError(
+                400, "chain_stats is not supported for multi-core cells")
+        workload_list = spec.workloads.split(",") if spec.workloads else []
+        if len(workload_list) != spec.cores:
+            raise HttpError(
+                400, f"workloads must name {spec.cores} comma-separated "
+                     f"workloads (one per core)")
+        for name in workload_list:
+            if name not in workload_names():
+                raise HttpError(400, f"unknown workload {name!r}")
+    elif spec.workloads:
+        raise HttpError(400, "workloads requires cores > 1")
     return spec
 
 

@@ -32,17 +32,25 @@ from pathlib import Path
 from typing import Any, Optional
 
 from ..analysis.experiments import KEY_SCHEMA, MODEL_VERSION, cell_key, \
-    tier_suffix
+    multicore_suffix, tier_suffix
 from ..analysis.parallel import CellSpec
 
 
 def spec_cell_key(spec: CellSpec) -> str:
     """The KEY_SCHEMA cell key a :class:`CellSpec` addresses — identical
     to the key an :class:`ExperimentMatrix` with the same budgets and
-    sampling plan would derive for the cell."""
+    sampling plan would derive for the cell (including the multicore
+    suffix for ``cores > 1`` specs, whose keys match
+    ``ExperimentMatrix.get_multicore``)."""
     suffix = tier_suffix(spec.tier, spec.ramp, spec.window, spec.stride,
                          live_point=bool(spec.window_jobs
                                          or spec.checkpoint_dir))
+    if getattr(spec, "cores", 1) > 1:
+        workload_list = (spec.workloads or spec.workload).split(",")
+        suffix += multicore_suffix(spec.cores, spec.share, workload_list)
+        return cell_key(workload_list[0], spec.config_name,
+                        spec.chain_stats, spec.instructions, spec.warmup,
+                        suffix)
     return cell_key(spec.workload, spec.config_name, spec.chain_stats,
                     spec.instructions, spec.warmup, suffix)
 

@@ -52,7 +52,7 @@ from typing import Any, Optional
 #: Version of the snapshot format + key derivation.  Bump on any change
 #: to what a snapshot contains or how keys are derived; old store
 #: entries then become unreachable (and CI's store cache rolls over).
-CKPT_SCHEMA = 1
+CKPT_SCHEMA = 2  # v2: stream-prefetcher entries carry a training core
 
 #: The warm-callback mask under which fast-forward state is produced.
 #: ``Processor.fast_forward`` always warms instruction fetch, data

@@ -5,6 +5,15 @@ prefetcher into the LLC, 64-entry memory queue, DDR3 DRAM.  All core-side
 requests funnel through :meth:`MemoryHierarchy.load`,
 :meth:`MemoryHierarchy.store_commit` and :meth:`MemoryHierarchy.ifetch`.
 
+Structurally the hierarchy is now only the *private* half of the machine:
+the L1s plus a :class:`~repro.memory.ports.MemoryPort` into the LLC/DRAM
+complex (:class:`~repro.memory.shared.SharedLLC`).  A hierarchy built
+without an explicit ``shared=`` argument constructs a private complex, so
+the legacy single-core construction is one core wired to its own LLC —
+the request arithmetic lives in the complex but runs in the same order
+with the same operands, and the golden grid pins that it is bit-identical.
+``repro.multicore`` passes one complex to N hierarchies instead.
+
 Access *kinds* label traffic for the paper's accounting: ``demand`` (and
 ``store``) are architectural, ``runahead`` are requests issued during any
 runahead mode, ``wrongpath`` during branch misspeculation, ``prefetch``
@@ -19,12 +28,11 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..config import SystemConfig
-from ..prefetch import StreamPrefetcher
 from .cache import Cache, CacheLine
-from .controller import MemoryController
+from .ports import DirectLink, MemRequest
+from .shared import CORE_KINDS, SharedLLC
 
-# Taxonomy of request kinds; used for DRAM/LLC accounting.
-CORE_KINDS = ("demand", "store", "runahead", "wrongpath")
+__all__ = ["AccessResult", "CORE_KINDS", "MemoryHierarchy"]
 
 
 @dataclass(frozen=True)
@@ -41,28 +49,58 @@ class AccessResult:
 
 
 class MemoryHierarchy:
-    """Composes L1I/L1D/LLC, the memory controller and the prefetcher."""
+    """One core's L1I/L1D plus a port into the LLC/DRAM complex."""
 
-    def __init__(self, config: SystemConfig) -> None:
+    # Re-exported from the shared complex: tests and callers historically
+    # read the reserve off the hierarchy.
+    _SPECULATIVE_RESERVE = SharedLLC._SPECULATIVE_RESERVE
+
+    def __init__(self, config: SystemConfig,
+                 shared: Optional[SharedLLC] = None) -> None:
         self.config = config
         self.l1i = Cache(config.l1i)
         self.l1d = Cache(config.l1d)
-        self.llc = Cache(config.llc)
-        self.controller = MemoryController(config.dram)
-        self.prefetcher: Optional[StreamPrefetcher] = (
-            StreamPrefetcher(config.prefetcher)
-            if config.prefetcher.enabled
-            else None
-        )
+        self.shared = SharedLLC(config) if shared is None else shared
+        self.core_id, self._acct = self.shared.connect(self)
+        self.port = DirectLink(self.shared)
+        # Aliases into the complex.  These are the *same objects* the
+        # complex owns, so every historical attribute path — stats
+        # readers, tracer shadows on ``controller.request``, the warm
+        # fast-forward helpers below — keeps working unchanged.
+        self.llc = self.shared.llc
+        self.controller = self.shared.controller
+        self.prefetcher = self.shared.prefetcher
+        # Traffic accounting: per-core dicts owned by the complex's
+        # CoreAccount, aliased here (restore() must update in place).
+        self.llc_misses: dict[str, int] = self._acct.llc_misses
+        self.llc_accesses: dict[str, int] = self._acct.llc_accesses
         self._line_shift = config.llc.line_bytes.bit_length() - 1
-        self.llc.eviction_hook = self._on_llc_eviction
-        # Traffic accounting.
-        self.llc_misses: dict[str, int] = {k: 0 for k in CORE_KINDS}
-        self.llc_accesses: dict[str, int] = {k: 0 for k in CORE_KINDS}
-        self.ifetch_llc_misses = 0
-        # Outstanding LLC fills (MSHR occupancy): completion-cycle heap.
-        self._fills: list[int] = []
         self.mshr_rejections = 0
+
+    @property
+    def is_shared(self) -> bool:
+        """True when the LLC/DRAM complex is shared with other cores (or
+        externally owned), i.e. this hierarchy is not the sole owner of
+        the memory state below its L1s."""
+        return self.shared.is_shared
+
+    # -- per-core counters living in the complex's CoreAccount -------------------
+
+    @property
+    def ifetch_llc_misses(self) -> int:
+        return self._acct.ifetch_llc_misses
+
+    @ifetch_llc_misses.setter
+    def ifetch_llc_misses(self, value: int) -> None:
+        self._acct.ifetch_llc_misses = value
+
+    @property
+    def _fills(self) -> list[int]:
+        return self.shared._fills
+
+    @_fills.setter
+    def _fills(self, value: list[int]) -> None:
+        self.shared._fills = value
 
     # -- address helpers ---------------------------------------------------------
 
@@ -72,69 +110,34 @@ class MemoryHierarchy:
     # -- inclusion / FDP hook -----------------------------------------------------
 
     def _on_llc_eviction(self, line_addr: int, line) -> None:
-        # Inclusive LLC: back-invalidate the L1s.
-        self.l1d.invalidate(line_addr)
-        self.l1i.invalidate(line_addr)
-        if line.dirty:
-            # Writeback traffic occupies DRAM but nothing waits on it.
-            self.controller.request(line_addr, 0, is_write=True, kind="writeback")
-        if (self.prefetcher is not None and line.prefetched
-                and not line.referenced):
-            self.prefetcher.record_unused_eviction()
-
-    def _fdp_demand_touch(self, line, now: int) -> None:
-        if (self.prefetcher is not None and line.prefetched
-                and not line.referenced):
-            line.referenced = True
-            self.prefetcher.record_useful(late=line.ready_cycle > now)
+        # The complex owns the eviction policy; this delegate exists for
+        # the flattened warm helpers below, which dispatch through the
+        # instance so a tracer shadow still sees rare-path evictions.
+        self.shared._on_evict(line_addr, line)
 
     # -- MSHR occupancy -------------------------------------------------------------
 
-    # Speculative requests (runahead, prefetch) may not take the last few
-    # MSHRs: demand misses must never queue behind a speculative flood.
-    _SPECULATIVE_RESERVE = 4
-
     def _mshr_free_at(self, now: int, kind: str = "demand") -> int:
         """0 if an LLC MSHR is free at ``now``, else the cycle one frees."""
-        fills = self._fills
-        while fills and fills[0] <= now:
-            heapq.heappop(fills)
-        limit = self.config.llc.mshrs
-        if kind in ("runahead", "prefetch"):
-            limit -= self._SPECULATIVE_RESERVE
-        if len(fills) < limit:
-            return 0
-        if not fills:
-            # Degenerate config: fewer MSHRs than the speculative
-            # reserve, so no slot ever frees for this kind — bounce a
-            # cycle at a time (prefetches are simply dropped; runahead
-            # loads retry until the interval ends).
-            return now + 1
-        # Conservative retry point: the earliest completion.  The caller
-        # may retry while still over the limit and be bounced again; each
-        # bounce moves it forward, so progress is guaranteed.
-        return fills[0]
+        return self.shared._mshr_block(now, kind, self.core_id)
 
     def _register_fill(self, done: int) -> None:
-        heapq.heappush(self._fills, done)
+        self.shared._register_fill(done, self.core_id)
 
     def mshr_occupancy(self, now: int) -> int:
         """LLC MSHRs in flight at ``now``.  Non-mutating (unlike
         ``_mshr_free_at``) so observers can sample it anywhere without
         perturbing the heap-drain schedule."""
-        return sum(1 for done in self._fills if done > now)
+        return self.shared.mshr_occupancy(now)
 
     # -- prefetch issue -----------------------------------------------------------
 
     def _issue_prefetches(self, lines: list[int], now: int) -> None:
-        for line_addr in lines:
-            if self.llc.probe(line_addr):
-                continue
-            if self._mshr_free_at(now, "prefetch"):
-                continue  # MSHRs full: drop the prefetch
-            done = self.controller.request(line_addr, now, kind="prefetch")
-            self._register_fill(done)
-            self.llc.fill(line_addr, done, prefetched=True)
+        # Class-level delegate (never an instance attribute: the zero-
+        # cost-observability contract in tests/test_obs.py shadows it
+        # per-instance when tracing).  The complex routes prefetch issue
+        # back through this seam so per-core traces see their own issues.
+        self.shared.issue_prefetches(lines, now, self.core_id)
 
     # -- core-side interface --------------------------------------------------------
 
@@ -142,9 +145,10 @@ class MemoryHierarchy:
         """A data load; returns completion cycle and serving level.
 
         When the access would allocate a new LLC MSHR and all MSHRs are
-        busy, returns level ``"RETRY"`` with ``done_cycle`` set to the
-        cycle an MSHR frees — the core must re-issue the load.  This is
-        the backpressure that bounds how far any runahead mode can run.
+        busy, the port refuses the request and this returns level
+        ``"RETRY"`` with ``done_cycle`` set to the cycle an MSHR frees —
+        the core must re-issue the load.  This is the backpressure that
+        bounds how far any runahead mode can run.
         """
         line_addr = addr >> self._line_shift
         l1d = self.l1d
@@ -161,92 +165,56 @@ class MemoryHierarchy:
             return AccessResult(
                 max(line.ready_cycle, now + l1_latency), "L1", merged=True
             )
-        if not self.llc.probe(line_addr):
-            free_at = self._mshr_free_at(now, kind)
-            if free_at:
-                self.mshr_rejections += 1
-                return AccessResult(free_at, "RETRY")
+        port = self.port
+        req = MemRequest(line_addr, now + l1_latency, kind, self.core_id,
+                         gate_cycle=now, gated=True)
+        if not port.try_send(req):
+            self.mshr_rejections += 1
+            return AccessResult(port.retry_at, "RETRY")
         l1d.stats.misses += 1
-        return self._llc_load(line_addr, now + l1_latency, kind, fill_l1=True)
-
-    def _llc_load(self, line_addr: int, now: int, kind: str,
-                  fill_l1: bool) -> AccessResult:
-        llc_latency = self.llc.latency
-        self.llc_accesses[kind] = self.llc_accesses.get(kind, 0) + 1
-        line = self.llc.lookup(line_addr)
-        if line is not None:
-            self._fdp_demand_touch(line, now)
-            if line.ready_cycle <= now:
-                self.llc.stats.hits += 1
-                done = now + llc_latency
-                level, merged = "LLC", False
-            else:
-                self.llc.stats.fill_hits += 1
-                done = max(line.ready_cycle, now + llc_latency)
-                # Merged with an outstanding DRAM fill: the data still comes
-                # from DRAM, which matters for runahead-entry decisions.
-                level, merged = "DRAM", True
-        else:
-            self.llc.stats.misses += 1
-            self.llc_misses[kind] = self.llc_misses.get(kind, 0) + 1
-            done = self.controller.request(line_addr, now + llc_latency,
-                                           kind=kind)
-            self._register_fill(done)
-            self.llc.fill(line_addr, done)
-            level, merged = "DRAM", False
-        if self.prefetcher is not None:
-            hits = line is not None
-            self._issue_prefetches(
-                self.prefetcher.on_demand_access(line_addr, hits), now
-            )
-        if fill_l1:
-            self.l1d.fill(line_addr, done)
-        return AccessResult(done, level, merged=merged)
+        resp = port.recv()
+        l1d.fill(line_addr, resp.done_cycle)
+        return AccessResult(resp.done_cycle, resp.level, merged=resp.merged)
 
     def store_commit(self, addr: int, now: int, kind: str = "store") -> None:
         """An architecturally committed store (write-allocate, write-back).
 
         Nothing waits on stores (they drain from a store buffer), so this
-        only updates cache/DRAM state and traffic counters.
+        only updates cache/DRAM state and traffic counters — and the
+        request is ungated: a store may not be refused by MSHR pressure.
         """
         line_addr = self.line_of(addr)
-        line = self.l1d.lookup(line_addr)
+        l1d = self.l1d
+        line = l1d.lookup(line_addr)
         if line is not None:
-            self.l1d.stats.hits += 1
+            l1d.stats.hits += 1
             line.dirty = True
             return
-        self.l1d.stats.misses += 1
-        result = self._llc_load(line_addr, now + self.l1d.latency, kind,
-                                fill_l1=True)
-        self.l1d.mark_dirty(line_addr)
-        del result
+        l1d.stats.misses += 1
+        port = self.port
+        port.try_send(MemRequest(line_addr, now + l1d.latency, kind,
+                                 self.core_id))
+        resp = port.recv()
+        l1d.fill(line_addr, resp.done_cycle)
+        l1d.mark_dirty(line_addr)
 
     def ifetch(self, addr: int, now: int) -> int:
         """Instruction fetch of one line; returns completion cycle."""
         line_addr = self.line_of(addr)
-        line = self.l1i.lookup(line_addr)
+        l1i = self.l1i
+        line = l1i.lookup(line_addr)
         if line is not None:
             if line.ready_cycle <= now:
-                self.l1i.stats.hits += 1
-                return now + self.l1i.latency
-            self.l1i.stats.fill_hits += 1
-            return max(line.ready_cycle, now + self.l1i.latency)
-        self.l1i.stats.misses += 1
-        t = now + self.l1i.latency
-        llc_line = self.llc.lookup(line_addr)
-        if llc_line is not None and llc_line.ready_cycle <= t:
-            self.llc.stats.hits += 1
-            done = t + self.llc.latency
-        elif llc_line is not None:
-            self.llc.stats.fill_hits += 1
-            done = llc_line.ready_cycle
-        else:
-            self.llc.stats.misses += 1
-            self.ifetch_llc_misses += 1
-            done = self.controller.request(line_addr, t + self.llc.latency,
-                                           kind="ifetch")
-            self.llc.fill(line_addr, done)
-        self.l1i.fill(line_addr, done)
+                l1i.stats.hits += 1
+                return now + l1i.latency
+            l1i.stats.fill_hits += 1
+            return max(line.ready_cycle, now + l1i.latency)
+        l1i.stats.misses += 1
+        port = self.port
+        port.try_send(MemRequest(line_addr, now + l1i.latency, "ifetch",
+                                 self.core_id))
+        done = port.recv().done_cycle
+        l1i.fill(line_addr, done)
         return done
 
     # -- warm-up support --------------------------------------------------------
@@ -258,12 +226,18 @@ class MemoryHierarchy:
             return
         if self.llc.lookup(line_addr) is None:
             self.llc.fill(line_addr, 0)
+            if self.shared._mc:
+                # Ownership survives warm-up so the timed run can tell a
+                # cross-core eviction of warm state from a self-eviction.
+                self.shared._line_owner[line_addr] = self.core_id
         self.l1d.fill(line_addr, 0)
 
     def warm_ifetch(self, addr: int) -> None:
         line_addr = self.line_of(addr)
         if not self.llc.probe(line_addr):
             self.llc.fill(line_addr, 0)
+            if self.shared._mc:
+                self.shared._line_owner[line_addr] = self.core_id
         self.l1i.fill(line_addr, 0)
 
     # -- flattened warm paths (jit fast-forward lane only) ----------------------
@@ -274,7 +248,11 @@ class MemoryHierarchy:
     # fast-forward lane binds these; the interp lane keeps the reference
     # implementations, and tests/test_blockjit.py differentially checks
     # the two against each other.  Must be kept in lockstep with
-    # ``Cache.fill``/``Cache.lookup``/``_on_llc_eviction``.
+    # ``Cache.fill``/``Cache.lookup``/``SharedLLC._on_evict``.
+    #
+    # The inlined clean-victim path back-invalidates only *this* core's
+    # L1s, which is wrong once the LLC is shared — Processor.fast_forward
+    # therefore forces the interp lane whenever ``is_shared``.
 
     def _warm_llc_fill(self, line_addr: int, lset) -> None:
         """``llc.fill(line_addr, 0)`` for a line known absent from
@@ -295,7 +273,7 @@ class MemoryHierarchy:
                     llc._mru_line = None
                 self._on_llc_eviction(va, vl)
             else:
-                # Common case of _on_llc_eviction: back-invalidate L1s.
+                # Common case of the eviction hook: back-invalidate L1s.
                 # The victim MRU-clear is dead here (the tail below
                 # reassigns the MRU unconditionally) and the clean victim
                 # never escapes, so its line object is recycled as the
@@ -457,7 +435,9 @@ class MemoryHierarchy:
         heap, the DRAM controller (bank rows, reservations, stats), and
         the stream prefetcher.  Plain data only — pickles, digests, and
         round-trips through :meth:`restore` exactly (see
-        ``repro.fastpath.checkpoint``)."""
+        ``repro.fastpath.checkpoint``).  Only meaningful for a privately
+        owned complex; Processor.snapshot refuses shared hierarchies
+        before reaching this."""
         return {
             "l1i": self.l1i.snapshot(),
             "l1d": self.l1d.snapshot(),
@@ -476,8 +456,11 @@ class MemoryHierarchy:
         self.l1i.restore(snap["l1i"])
         self.l1d.restore(snap["l1d"])
         self.llc.restore(snap["llc"])
-        self.llc_misses = dict(snap["llc_misses"])
-        self.llc_accesses = dict(snap["llc_accesses"])
+        # In-place: these dicts are aliases of the complex's CoreAccount.
+        self.llc_misses.clear()
+        self.llc_misses.update(dict(snap["llc_misses"]))
+        self.llc_accesses.clear()
+        self.llc_accesses.update(dict(snap["llc_accesses"]))
         self.ifetch_llc_misses = snap["ifetch_llc_misses"]
         self._fills = list(snap["fills"])
         heapq.heapify(self._fills)

@@ -1,0 +1,162 @@
+"""Port interfaces between a core's private hierarchy and shared memory.
+
+The core↔memory seam is an explicit component graph: each per-core
+:class:`~repro.memory.hierarchy.MemoryHierarchy` owns only its L1s and
+talks to the LLC/DRAM complex (:class:`~repro.memory.shared.SharedLLC`)
+through a :class:`MemoryPort`.  The protocol follows the classic
+can/send/has/recv shape:
+
+* ``can_accept(req)`` — may the endpoint take this request now?  For
+  gated (load-type) requests this is the LLC MSHR admission check; the
+  refusal cycle is latched on :attr:`MemoryPort.retry_at`.
+* ``try_send(req)`` — deliver the request if ``can_accept``; returns
+  ``False`` (and latches ``retry_at``) otherwise.  Sending while a
+  response is still pending is a :class:`ProtocolError`.
+* ``has_resp()`` — is a response waiting?
+* ``recv()`` — take the response, exactly once.  Receiving with no
+  response pending is a :class:`ProtocolError`.
+
+The simulator's timing model is reservation-based (a request computes
+its completion cycle at issue), so :class:`DirectLink` resolves a sent
+request synchronously: ``try_send`` serves it against the endpoint and
+latches the response for the following ``recv``.  The protocol
+invariants (no send past backpressure, single delivery) are enforced
+either way, which is what lets a future latency-modelled link drop in
+behind the same interface.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+__all__ = [
+    "DirectLink",
+    "MemRequest",
+    "MemResponse",
+    "MemoryEndpoint",
+    "MemoryPort",
+    "ProtocolError",
+]
+
+
+class ProtocolError(RuntimeError):
+    """A port was driven outside the can/send/has/recv protocol."""
+
+
+class MemRequest:
+    """One request crossing a core→memory port.
+
+    ``cycle`` is the cycle the request reaches the endpoint (the core's
+    ``now`` plus its L1 latency); ``gate_cycle`` is the core-side issue
+    cycle the MSHR admission check drains against.  ``gated`` marks
+    load-type requests subject to MSHR backpressure — stores (nothing
+    waits on them) and instruction fetches bypass the gate, exactly as
+    the pre-port hierarchy did.
+    """
+
+    __slots__ = ("line_addr", "cycle", "kind", "core", "gate_cycle", "gated")
+
+    def __init__(self, line_addr: int, cycle: int, kind: str, core: int = 0,
+                 gate_cycle: int = 0, gated: bool = False) -> None:
+        self.line_addr = line_addr
+        self.cycle = cycle
+        self.kind = kind
+        self.core = core
+        self.gate_cycle = gate_cycle
+        self.gated = gated
+
+    def __repr__(self) -> str:  # debugging aid only
+        return (f"MemRequest(line={self.line_addr:#x}, cycle={self.cycle}, "
+                f"kind={self.kind!r}, core={self.core}, "
+                f"gated={self.gated})")
+
+
+class MemResponse:
+    """The endpoint's answer: completion cycle plus serving level."""
+
+    __slots__ = ("done_cycle", "level", "merged")
+
+    def __init__(self, done_cycle: int, level: str,
+                 merged: bool = False) -> None:
+        self.done_cycle = done_cycle
+        self.level = level
+        self.merged = merged
+
+    def __repr__(self) -> str:
+        return (f"MemResponse(done={self.done_cycle}, level={self.level!r}, "
+                f"merged={self.merged})")
+
+
+class MemoryEndpoint(Protocol):
+    """What a port needs from the memory side of the seam."""
+
+    def accept_at(self, req: MemRequest) -> int:
+        """0 if the request can be taken now, else the retry cycle."""
+
+    def serve(self, req: MemRequest) -> MemResponse:
+        """Resolve an accepted request to a response."""
+
+
+class MemoryPort:
+    """Abstract core-side port.  Subclasses implement the transport."""
+
+    #: Retry cycle latched by the last refused ``can_accept``/``try_send``.
+    retry_at: int = 0
+
+    def can_accept(self, req: MemRequest) -> bool:
+        raise NotImplementedError
+
+    def try_send(self, req: MemRequest) -> bool:
+        raise NotImplementedError
+
+    def has_resp(self) -> bool:
+        raise NotImplementedError
+
+    def recv(self) -> MemResponse:
+        raise NotImplementedError
+
+
+class DirectLink(MemoryPort):
+    """Zero-latency point-to-point link to a reservation-timed endpoint.
+
+    The endpoint computes completion cycles at issue, so the link
+    resolves a send immediately and holds the response until ``recv``.
+    One request may be outstanding at a time — the hierarchy drains every
+    response in the same call that sent it, and the link enforces that.
+    """
+
+    __slots__ = ("endpoint", "_resp", "retry_at")
+
+    def __init__(self, endpoint: MemoryEndpoint) -> None:
+        self.endpoint = endpoint
+        self._resp: Optional[MemResponse] = None
+        self.retry_at = 0
+
+    def can_accept(self, req: MemRequest) -> bool:
+        if self._resp is not None:
+            return False  # previous response not drained
+        blocked = self.endpoint.accept_at(req)
+        self.retry_at = blocked
+        return blocked == 0
+
+    def try_send(self, req: MemRequest) -> bool:
+        if self._resp is not None:
+            raise ProtocolError(
+                "try_send with an undrained response pending (recv first)")
+        blocked = self.endpoint.accept_at(req)
+        if blocked:
+            self.retry_at = blocked
+            return False
+        self._resp = self.endpoint.serve(req)
+        return True
+
+    def has_resp(self) -> bool:
+        return self._resp is not None
+
+    def recv(self) -> MemResponse:
+        resp = self._resp
+        if resp is None:
+            raise ProtocolError("recv with no response pending "
+                                "(has_resp() is False)")
+        self._resp = None
+        return resp

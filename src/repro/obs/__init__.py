@@ -24,7 +24,8 @@ from .events import EVENT_KINDS, EVENT_SCHEMAS, FARM_EVENT_KINDS, \
     FARM_EVENT_SCHEMAS, EventTrace, TraceEvent, validate_event, \
     validate_farm_event
 from .metrics import Metric, MetricsRegistry, default_registry, farm_registry
-from .perfetto import export_perfetto, write_perfetto
+from .perfetto import (export_perfetto, export_perfetto_multicore,
+                       write_perfetto)
 from .sampler import OccupancySample, OccupancySampler
 from .tracer import Tracer
 
@@ -43,6 +44,7 @@ __all__ = [
     "Tracer",
     "default_registry",
     "export_perfetto",
+    "export_perfetto_multicore",
     "farm_registry",
     "run_traced",
     "validate_event",

@@ -25,6 +25,7 @@ class _Stream:
     next_prefetch: int      # next line to prefetch
     active: bool = False
     lru: int = 0
+    core: int = 0           # training core: streams never match cross-core
 
 
 class PrefetcherStats:
@@ -83,10 +84,15 @@ class StreamPrefetcher:
 
     # -- training / issue --------------------------------------------------------
 
-    def _find_stream(self, line: int) -> _Stream | None:
+    def _find_stream(self, line: int, core: int = 0) -> _Stream | None:
         window = max(self.distance, 16)
         best = None
         for stream in self.streams:
+            if stream.core != core:
+                # Streams are per-core: interleaved access patterns from
+                # different cores must not alias into one stream (and on
+                # the single-core path every stream has core 0).
+                continue
             if stream.active:
                 ahead = (line - stream.last_line) * stream.direction
                 if 0 <= ahead <= window:
@@ -98,10 +104,10 @@ class StreamPrefetcher:
                     break
         return best
 
-    def _allocate(self, line: int) -> _Stream:
+    def _allocate(self, line: int, core: int = 0) -> _Stream:
         self._lru_clock += 1
         if len(self.streams) < self.config.num_streams:
-            stream = _Stream(line, 0, 0, line, lru=self._lru_clock)
+            stream = _Stream(line, 0, 0, line, lru=self._lru_clock, core=core)
             self.streams.append(stream)
             return stream
         victim = min(self.streams, key=lambda s: s.lru)
@@ -111,15 +117,17 @@ class StreamPrefetcher:
         victim.next_prefetch = line
         victim.active = False
         victim.lru = self._lru_clock
+        victim.core = core
         return victim
 
-    def on_demand_access(self, line: int, hit: bool) -> list[int]:
+    def on_demand_access(self, line: int, hit: bool,
+                         core: int = 0) -> list[int]:
         """Observe one LLC demand access; return line addresses to prefetch."""
         self._lru_clock += 1
-        stream = self._find_stream(line)
+        stream = self._find_stream(line, core)
         if stream is None:
             if not hit:
-                self._allocate(line)
+                self._allocate(line, core)
             return []
         stream.lru = self._lru_clock
 
@@ -165,7 +173,7 @@ class StreamPrefetcher:
         st = self.stats
         return (
             tuple((s.last_line, s.direction, s.confidence, s.next_prefetch,
-                   s.active, s.lru)
+                   s.active, s.lru, s.core)
                   for s in self.streams),
             self._lru_clock,
             self._level,
@@ -179,9 +187,9 @@ class StreamPrefetcher:
         streams, lru_clock, level, interval, stats = snap
         self.streams = [
             _Stream(last_line, direction, confidence, next_prefetch,
-                    active=active, lru=lru)
+                    active=active, lru=lru, core=core)
             for (last_line, direction, confidence, next_prefetch,
-                 active, lru) in streams
+                 active, lru, core) in streams
         ]
         self._lru_clock = lru_clock
         self._level = level

@@ -143,3 +143,25 @@ class RunaheadPolicyState:
         if not records:
             return 0.0
         return sum(r.misses_generated for r in records) / len(records)
+
+    def fairness_summary(self) -> dict:
+        """Per-core runahead activity profile for multi-core fairness
+        reporting: how often and how long this core ran ahead, by mode,
+        plus how many entries its filters blocked.  Plain data (sorted
+        keys) so multicore results fingerprint deterministically."""
+        kinds = sorted({r.kind for r in self.intervals})
+        return {
+            "intervals": self.interval_count(),
+            "runahead_cycles": self.cycles_in(),
+            "by_kind": {
+                k: {
+                    "intervals": self.interval_count(k),
+                    "cycles": self.cycles_in(k),
+                    "misses_per_interval": self.misses_per_interval(k),
+                }
+                for k in kinds
+            },
+            "entries_blocked_short": self.entries_blocked_short,
+            "entries_blocked_overlap": self.entries_blocked_overlap,
+            "entries_blocked_no_chain": self.entries_blocked_no_chain,
+        }

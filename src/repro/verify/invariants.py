@@ -172,9 +172,22 @@ class InvariantChecker:
                     f"< entry={record.entry_cycle}")
 
 
-def attach_invariant_checker(processor: Processor,
-                             every: int = 1) -> InvariantChecker:
-    """Create a checker and install it as the processor's cycle hook."""
+def attach_invariant_checker(processor: Processor, every: int = 1,
+                             allow_shared: bool = False) -> InvariantChecker:
+    """Create a checker and install it as the processor's cycle hook.
+
+    A core on a shared hierarchy is refused by default: the checker's
+    invariants are core-local and hold per core, but its verdicts are
+    conventionally read as whole-run soundness — and co-runners mutate
+    the shared LLC/MSHR state underneath the checked core between its
+    cycles.  Pass ``allow_shared=True`` to attach anyway, scoping the
+    verdict to this core's structures only.
+    """
+    if processor.hierarchy.is_shared and not allow_shared:
+        raise ValueError(
+            "refusing to attach an invariant checker to a core on a "
+            "shared hierarchy: its verdict covers core-local structures "
+            "only (pass allow_shared=True to attach with that scope)")
     checker = InvariantChecker(processor, every=every)
     processor.set_cycle_hook(checker.on_cycle)
     return checker

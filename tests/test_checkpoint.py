@@ -152,6 +152,51 @@ class TestRoundTrip:
 
 
 # ---------------------------------------------------------------------------
+# Shared hierarchies don't checkpoint
+# ---------------------------------------------------------------------------
+
+class TestSharedHierarchyRejection:
+    """Regression for the multi-core refactor: a core whose hierarchy is
+    shared cannot snapshot or restore.  Its warm state spans co-runners
+    (one LLC array, one MSHR pool, one DRAM controller), so a per-core
+    snapshot would silently capture — and restore would silently
+    clobber — other cores' state.  Both must refuse loudly instead."""
+
+    def _shared_core(self):
+        from repro.multicore import CoreSpec, System
+        system = System([CoreSpec("mcf"), CoreSpec("lbm")],
+                        share="llc,dram")
+        return system.cores[0]
+
+    def test_snapshot_raises(self):
+        from repro.memory import SharedHierarchyError
+        with pytest.raises(SharedHierarchyError):
+            self._shared_core().snapshot()
+
+    def test_restore_raises(self):
+        from repro.memory import SharedHierarchyError
+        donor = _processor()
+        donor.warm_up(8_000)
+        snap = donor.snapshot()
+        with pytest.raises(SharedHierarchyError):
+            self._shared_core().restore(snap)
+
+    def test_dram_only_share_is_rejected_too(self):
+        # Private LLCs don't help: the DRAM controller (row-buffer and
+        # queue state) is still cross-core.
+        from repro.memory import SharedHierarchyError
+        from repro.multicore import CoreSpec, System
+        system = System([CoreSpec("mcf"), CoreSpec("lbm")], share="dram")
+        with pytest.raises(SharedHierarchyError):
+            system.cores[0].snapshot()
+
+    def test_schema_records_the_stream_core_field(self):
+        # CKPT_SCHEMA v2: stream-prefetcher entries carry the training
+        # core, so v1 stores can never alias v2 snapshots.
+        assert CKPT_SCHEMA == 2
+
+
+# ---------------------------------------------------------------------------
 # Content-addressed store
 # ---------------------------------------------------------------------------
 

@@ -118,6 +118,52 @@ def test_cycle_identical(golden, config_name):
     )
 
 
+# -- port / component-graph refactor -----------------------------------------
+#
+# The core↔memory seam is an explicit port graph (repro.memory.ports):
+# every golden cell above already exercises it, because the default
+# single-core hierarchy now reaches its LLC complex through a DirectLink.
+# These tests make the refactor's contract explicit: the graph is real
+# (not vestigial), and driving the same cells through the *multi-core*
+# construction path (System with N=1) reproduces the pinned reference
+# bit-for-bit — the golden file needs zero changes for the refactor.
+
+PORT_SAMPLE_WORKLOADS = ("mcf", "lbm", "omnetpp", "libquantum")
+
+
+def test_default_hierarchy_routes_through_the_port_graph():
+    from repro.config import build_named_config
+    from repro.core.processor import Processor
+    from repro.memory import DirectLink, SharedLLC
+    from repro.workloads import build_workload
+
+    workload = build_workload("mcf")
+    proc = Processor(workload.program, build_named_config("rab_cc"),
+                     memory=workload.memory, init_regs=workload.init_regs)
+    assert isinstance(proc.hierarchy.port, DirectLink)
+    assert isinstance(proc.hierarchy.shared, SharedLLC)
+    assert proc.hierarchy.port.endpoint is proc.hierarchy.shared
+    assert proc.hierarchy.llc is proc.hierarchy.shared.llc
+
+
+@pytest.mark.parametrize("config_name", ("baseline", "rab_cc"))
+def test_port_graph_single_core_matches_golden(golden, config_name):
+    from repro import simulate_multicore
+
+    mismatches = []
+    for workload in PORT_SAMPLE_WORKLOADS:
+        reference = golden["cells"][f"{workload}/{config_name}"]
+        result = simulate_multicore([workload], cores=1,
+                                    configs=[config_name],
+                                    max_instructions=INSTRUCTIONS,
+                                    warmup_instructions=WARMUP)
+        if _canonical(result.per_core[0]) != reference:
+            mismatches.append(workload)
+    assert not mismatches, (
+        f"{config_name}: the N=1 component-graph path drifted from the "
+        f"pinned single-core reference on {mismatches}")
+
+
 def test_golden_covers_full_grid(golden):
     expected = {f"{w}/{c}" for w in workload_names() for c in CONFIGS}
     assert expected == set(golden["cells"])

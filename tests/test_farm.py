@@ -90,6 +90,18 @@ class TestSpecCellKey:
         assert not spec_cell_key(
             spec._replace(window_jobs=0)).endswith(".lp")
 
+    def test_multicore_specs_append_mc_suffix(self):
+        spec = CellSpec("", "rab_cc", False, 2000, 3000,
+                        cores=2, share="llc,dram", workloads="mcf,lbm")
+        key = spec_cell_key(spec)
+        assert key == "mcf/rab_cc/2000/w3000/mc2.llc+dram.mcf+lbm"
+        # Core order is semantic: permuted workloads address a new cell.
+        swapped = spec._replace(workloads="lbm,mcf")
+        assert spec_cell_key(swapped) != key
+        # Single-core specs are untouched by the new fields' defaults.
+        single = CellSpec("mcf", "rab_cc", False, 2000, 3000)
+        assert spec_cell_key(single) == "mcf/rab_cc/2000/w3000"
+
 
 # ---------------------------------------------------------------------------
 # Result store

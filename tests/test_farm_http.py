@@ -167,6 +167,29 @@ class TestDecodeSpec:
             with pytest.raises(HttpError):
                 decode_spec(broken)
 
+    def test_multicore_specs_validated(self):
+        spec = decode_spec({"workload": "", "config_name": "rab_cc",
+                            "instructions": 400, "warmup": 500,
+                            "cores": 2, "workloads": "mcf,lbm"})
+        assert spec.cores == 2 and spec.share == "llc,dram"
+        base = {"workload": "mcf", "config_name": "rab_cc",
+                "instructions": 400, "warmup": 500}
+        for broken in ({**base, "cores": 0},
+                       {**base, "cores": 9},
+                       {**base, "cores": 2},                  # no workloads
+                       {**base, "cores": 2, "workloads": "mcf"},
+                       {**base, "cores": 2, "workloads": "mcf,nope"},
+                       {**base, "cores": 2, "workloads": "mcf,lbm",
+                        "share": "bogus"},
+                       {**base, "cores": 2, "workloads": "mcf,lbm",
+                        "chain_stats": True},
+                       {**base, "cores": 2, "workloads": "mcf,lbm",
+                        "tier": "two-level", "ramp": 100, "window": 200,
+                        "stride": 1000},
+                       {**base, "workloads": "mcf,lbm"}):     # cores == 1
+            with pytest.raises(HttpError):
+                decode_spec(broken)
+
 
 # ---------------------------------------------------------------------------
 # The acceptance-criteria paths

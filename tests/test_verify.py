@@ -166,6 +166,23 @@ class TestInvariantChecker:
         proc.run(1000)
         assert 0 < checker.cycles_checked < proc.now
 
+    def test_refuses_core_on_shared_hierarchy(self):
+        """Regression for the multi-core refactor: the checker's verdict
+        is read as whole-run soundness, but on a shared hierarchy
+        co-runners mutate LLC/MSHR state between the checked core's
+        cycles — attaching must be an explicit, scoped decision."""
+        from repro.multicore import CoreSpec, System
+        system = System([CoreSpec("mcf"), CoreSpec("lbm")],
+                        share="llc,dram")
+        with pytest.raises(ValueError, match="shared"):
+            attach_invariant_checker(system.cores[0])
+        # Explicit opt-in scopes the verdict to core-local structures.
+        checker = attach_invariant_checker(system.cores[0],
+                                           allow_shared=True)
+        system.warm_up(2_000)
+        system.run(500)
+        assert checker.cycles_checked > 0
+
 
 class TestHarness:
     def test_verify_seed_clean(self):
